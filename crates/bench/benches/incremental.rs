@@ -1,0 +1,38 @@
+//! X4 — incremental guard costs (Theorem 2 + Proposition 3): character
+//! data operations are O(1) regardless of document size; markup insertion
+//! costs two ECPV runs; a naive editor would re-check the whole document.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pv_core::checker::PvChecker;
+use pv_dtd::builtin::BuiltinDtd;
+use pv_workload::corpus;
+
+fn bench_incremental(c: &mut Criterion) {
+    let analysis = BuiltinDtd::TeiLite.analysis();
+    let checker = PvChecker::new(&analysis);
+    let mut group = c.benchmark_group("incremental");
+
+    for target in [100usize, 1000, 10000] {
+        let doc = corpus::tei(target);
+        let p = doc.elements().find(|&n| doc.name(n) == Some("p")).unwrap();
+        let parent = doc.parent(p).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("text_insert_o1", target), &doc, |b, doc| {
+            b.iter(|| checker.check_text_insertion(doc, p).preserves_pv())
+        });
+        group.bench_with_input(BenchmarkId::new("markup_insert_2ecpv", target), &doc, |b, doc| {
+            b.iter(|| checker.check_markup_insertion(doc, p, parent).preserves_pv())
+        });
+        group.bench_with_input(BenchmarkId::new("full_recheck", target), &doc, |b, doc| {
+            b.iter(|| checker.check_document(doc).is_potentially_valid())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_incremental
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! # pv-bench — experiment harness
+//!
+//! The ICDE 2006 paper is an algorithms paper with no measurement section;
+//! its quantitative content is a set of complexity claims (Theorem 4's
+//! `O(k·D·n)`, Proposition 3's O(1) content updates, and the argument that
+//! Earley-style parsing of the highly ambiguous `G'` is impractical). This
+//! crate regenerates **every** paper artifact and claim as tables:
+//!
+//! * `experiments --table examples` — Figures 1–7 / Examples 1–6 as
+//!   executable checks (expected vs. measured);
+//! * `experiments --table scaling-n` — wall-time vs. document size for
+//!   ECRecognizer / Earley / standard validation (claim X1, Theorem 4);
+//! * `experiments --table scaling-k` — vs. DTD size `k` (claim X2);
+//! * `experiments --table depth` — vs. depth bound `D` on PV-strong DTDs
+//!   (claim X3, Examples 5–6);
+//! * `experiments --table incremental` — per-operation costs of the
+//!   editing guards (claim X4, Theorem 2 + Proposition 3);
+//! * `experiments --table classes` — DTD classes at fixed size (claim X5);
+//! * `experiments --table real-dtds` — realistic corpora (claim X6).
+//!
+//! The same workloads back the Criterion benches under `benches/`.
+
+pub mod experiments;
+pub mod timing;
+
+pub use experiments::{all_tables, run_table};

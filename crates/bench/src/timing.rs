@@ -1,0 +1,65 @@
+//! Minimal wall-clock measurement used by the `experiments` binary.
+//! (Criterion handles the statistically careful runs; these tables favour
+//! quick, readable numbers.)
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` once for warmup, then `samples` times, returning the median
+/// duration.
+pub fn median<F: FnMut()>(samples: usize, mut f: F) -> Duration {
+    f(); // warmup
+    let mut times: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Pretty-prints a duration with ns/µs/ms resolution.
+pub fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// ns-per-item rate.
+pub fn per_item(d: Duration, items: usize) -> String {
+    if items == 0 {
+        return "-".to_owned();
+    }
+    format!("{:.1} ns", d.as_nanos() as f64 / items as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_positive() {
+        let d = median(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert!(fmt_dur(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(fmt_dur(Duration::from_micros(500)).ends_with("µs"));
+        assert!(fmt_dur(Duration::from_millis(500)).ends_with("ms"));
+        assert!(fmt_dur(Duration::from_secs(20)).ends_with(" s"));
+        assert_eq!(per_item(Duration::from_nanos(1000), 0), "-");
+        assert_eq!(per_item(Duration::from_nanos(1000), 10), "100.0 ns");
+    }
+}

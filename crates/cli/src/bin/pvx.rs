@@ -1,0 +1,170 @@
+//! `pvx` — potential-validity tooling for document-centric XML.
+//!
+//! See `pvx --help` or the crate docs of `pv-cli` for usage.
+
+use pv_cli::{cmd_check, cmd_classify, cmd_complete, cmd_lint, cmd_validate, resolve_dtd, Status};
+use pv_core::depth::DepthPolicy;
+
+const USAGE: &str = "\
+pvx — potential validity of document-centric XML (ICDE 2006)
+
+USAGE:
+  pvx check    [--dtd FILE --root NAME | --builtin NAME] [--depth N] DOC.xml...
+  pvx validate [--dtd FILE --root NAME | --builtin NAME] [--ignore-whitespace] DOC.xml...
+  pvx complete [--dtd FILE --root NAME | --builtin NAME] DOC.xml
+  pvx classify (--dtd FILE --root NAME | --builtin NAME)
+  pvx lint     (--dtd FILE --root NAME | --builtin NAME)
+
+Without --dtd/--builtin, documents must carry an internal DTD subset
+(<!DOCTYPE root [ ... ]>). Builtins: figure1, t1, t2, xhtml-basic,
+tei-lite, play, docbook-like, dissertation.
+
+EXIT CODES: 0 ok / potentially valid · 1 check failed · 2 usage or parse error";
+
+struct Args {
+    command: String,
+    dtd_file: Option<String>,
+    root: Option<String>,
+    builtin: Option<String>,
+    depth: Option<u32>,
+    ignore_whitespace: bool,
+    docs: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or("missing command")?;
+    let mut args = Args {
+        command,
+        dtd_file: None,
+        root: None,
+        builtin: None,
+        depth: None,
+        ignore_whitespace: false,
+        docs: Vec::new(),
+    };
+    let need_value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next().ok_or(format!("{flag} requires a value"))
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--dtd" => args.dtd_file = Some(need_value(&mut argv, "--dtd")?),
+            "--root" => args.root = Some(need_value(&mut argv, "--root")?),
+            "--builtin" => args.builtin = Some(need_value(&mut argv, "--builtin")?),
+            "--depth" => {
+                let v = need_value(&mut argv, "--depth")?;
+                args.depth = Some(v.parse().map_err(|_| format!("bad --depth {v:?}"))?);
+            }
+            "--ignore-whitespace" => args.ignore_whitespace = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            doc => args.docs.push(doc.to_owned()),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(Status::Error.code());
+        }
+    };
+
+    let dtd_src = match &args.dtd_file {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("error: cannot read DTD {path}: {e}");
+                std::process::exit(Status::Error.code());
+            }
+        },
+    };
+
+    let mut worst = Status::Ok;
+
+    match args.command.as_str() {
+        "classify" | "lint" => {
+            let ctx = match resolve_dtd(
+                dtd_src.as_deref(),
+                args.root.as_deref(),
+                args.builtin.as_deref(),
+                None,
+            ) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(Status::Error.code());
+                }
+            };
+            let (report, status) = if args.command == "classify" {
+                cmd_classify(&ctx)
+            } else {
+                cmd_lint(&ctx)
+            };
+            print!("{report}");
+            worst = status;
+        }
+        "check" | "validate" | "complete" => {
+            if args.docs.is_empty() {
+                eprintln!("error: no documents given\n\n{USAGE}");
+                std::process::exit(Status::Error.code());
+            }
+            for path in &args.docs {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("{path}: cannot read: {e}");
+                        worst = Status::Error;
+                        continue;
+                    }
+                };
+                let doc = match pv_xml::parse(&text) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("{path}: not well-formed: {e}");
+                        worst = Status::Error;
+                        continue;
+                    }
+                };
+                let ctx = match resolve_dtd(
+                    dtd_src.as_deref(),
+                    args.root.as_deref(),
+                    args.builtin.as_deref(),
+                    Some(&doc),
+                ) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        worst = Status::Error;
+                        continue;
+                    }
+                };
+                let depth = match args.depth {
+                    Some(d) => DepthPolicy::Bounded(d),
+                    None => DepthPolicy::Auto,
+                };
+                let (report, status) = match args.command.as_str() {
+                    "check" => cmd_check(&ctx, path, &doc, depth),
+                    "validate" => cmd_validate(&ctx, path, &doc, args.ignore_whitespace),
+                    _ => cmd_complete(&ctx, path, &doc),
+                };
+                print!("{report}");
+                if status.code() > worst.code() {
+                    worst = status;
+                }
+            }
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}\n\n{USAGE}");
+            std::process::exit(Status::Error.code());
+        }
+    }
+    std::process::exit(worst.code());
+}

@@ -1,0 +1,374 @@
+//! # pv-cli — the `pvx` command-line tool
+//!
+//! A front end over the potential-validity stack for shell use:
+//!
+//! ```text
+//! pvx check    [--dtd FILE --root NAME] [--depth N] DOC.xml…
+//! pvx validate [--dtd FILE --root NAME] [--ignore-whitespace] DOC.xml…
+//! pvx complete [--dtd FILE --root NAME] DOC.xml
+//! pvx classify (--dtd FILE --root NAME | --builtin NAME)
+//! pvx lint     (--dtd FILE --root NAME | --builtin NAME)
+//! ```
+//!
+//! * `check` — potential validity (the paper's Problem PV) with a
+//!   node-precise diagnosis on failure;
+//! * `validate` — standard DTD validity;
+//! * `complete` — print a valid extension with `•`-marked inserted tags
+//!   (Definition 2 / Figure 3 as a tool);
+//! * `classify` — DTD statistics and the recursion class (Definitions
+//!   6–8), which decides whether a depth bound is needed;
+//! * `lint` — DTD diagnostics: unusable elements, non-deterministic
+//!   (1-ambiguous) content models, PV-strong recursive elements.
+//!
+//! Documents may carry their DTD in an internal subset
+//! (`<!DOCTYPE root [ … ]>`); `--dtd`/`--root` override it. The library
+//! part of this crate (this module) holds the testable command
+//! implementations; `src/bin/pvx.rs` is a thin argv wrapper.
+
+use pv_core::checker::PvChecker;
+use pv_core::depth::DepthPolicy;
+use pv_core::token::Tokens;
+use pv_dtd::builtin::BuiltinDtd;
+use pv_dtd::{ContentSpec, Dtd, DtdAnalysis};
+use pv_grammar::validator::{validate_document_with, ContentAutomata, ValidateOptions};
+use pv_grammar::witness::{complete_document, complete_tokens};
+use pv_xml::Document;
+use std::fmt::Write as _;
+
+/// Exit status of a command (mirrors the process exit code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Everything checked out.
+    Ok,
+    /// The check ran and the answer is "no".
+    Failed,
+    /// The command could not run (bad arguments, parse errors, …).
+    Error,
+}
+
+impl Status {
+    /// Process exit code.
+    pub fn code(self) -> i32 {
+        match self {
+            Status::Ok => 0,
+            Status::Failed => 1,
+            Status::Error => 2,
+        }
+    }
+}
+
+/// Resolved DTD context for a command.
+pub struct DtdContext {
+    /// Compiled DTD.
+    pub analysis: DtdAnalysis,
+    /// Where it came from (for messages).
+    pub source: String,
+}
+
+/// Resolves the DTD for a document: explicit `--dtd` content wins, then a
+/// `--builtin` name, then the document's internal subset.
+pub fn resolve_dtd(
+    dtd_src: Option<&str>,
+    root: Option<&str>,
+    builtin: Option<&str>,
+    doc: Option<&Document>,
+) -> Result<DtdContext, String> {
+    if let Some(name) = builtin {
+        let b = BuiltinDtd::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name() == name)
+            .ok_or_else(|| {
+                format!(
+                    "unknown builtin {name:?}; known: {}",
+                    BuiltinDtd::ALL.map(|b| b.name()).join(", ")
+                )
+            })?;
+        return Ok(DtdContext { analysis: b.analysis(), source: format!("builtin:{name}") });
+    }
+    if let Some(src) = dtd_src {
+        let root = root.ok_or("--dtd requires --root NAME")?;
+        let analysis =
+            DtdAnalysis::parse(src, root).map_err(|e| format!("DTD error: {e}"))?;
+        return Ok(DtdContext { analysis, source: "--dtd".to_owned() });
+    }
+    let doc = doc.ok_or("no DTD given and no document to read one from")?;
+    let dt = doc
+        .doctype
+        .as_ref()
+        .ok_or("document has no <!DOCTYPE …> and no --dtd/--builtin was given")?;
+    let subset = dt
+        .internal_subset
+        .as_deref()
+        .ok_or("document DOCTYPE has no internal subset; pass --dtd")?;
+    let dtd = Dtd::parse(subset).map_err(|e| format!("internal-subset DTD error: {e}"))?;
+    let root_name = root.unwrap_or(&dt.name);
+    let analysis =
+        DtdAnalysis::new(dtd, root_name).map_err(|e| format!("DTD error: {e}"))?;
+    Ok(DtdContext { analysis, source: "internal subset".to_owned() })
+}
+
+/// `pvx check`: potential validity with diagnosis. Returns the report text
+/// and status.
+pub fn cmd_check(ctx: &DtdContext, name: &str, doc: &Document, depth: DepthPolicy) -> (String, Status) {
+    let checker = PvChecker::with_policy(&ctx.analysis, depth);
+    let out = checker.check_document(doc);
+    let mut report = String::new();
+    match &out.violation {
+        None => {
+            let _ = writeln!(
+                report,
+                "{name}: POTENTIALLY VALID (dtd: {}, class: {}, depth budget: {})",
+                ctx.source,
+                ctx.analysis.rec.class,
+                if checker.depth() == u32::MAX { "∞".to_owned() } else { checker.depth().to_string() },
+            );
+            (report, Status::Ok)
+        }
+        Some(v) => {
+            let _ = writeln!(report, "{name}: NOT potentially valid");
+            let _ = writeln!(report, "  {v}");
+            let _ = writeln!(
+                report,
+                "  (no insertion of markup can repair this; deletion or renaming is required)"
+            );
+            (report, Status::Failed)
+        }
+    }
+}
+
+/// `pvx validate`: standard DTD validity.
+pub fn cmd_validate(
+    ctx: &DtdContext,
+    name: &str,
+    doc: &Document,
+    ignore_whitespace: bool,
+) -> (String, Status) {
+    match validate_document_with(
+        doc,
+        &ctx.analysis.dtd,
+        ctx.analysis.root,
+        ValidateOptions { ignore_whitespace },
+    ) {
+        Ok(()) => (format!("{name}: VALID\n"), Status::Ok),
+        Err(e) => (format!("{name}: INVALID\n  {e}\n"), Status::Failed),
+    }
+}
+
+/// `pvx complete`: print the extension witness.
+pub fn cmd_complete(ctx: &DtdContext, name: &str, doc: &Document) -> (String, Status) {
+    let toks = match Tokens::delta(doc, doc.root(), &ctx.analysis.dtd) {
+        Ok(t) => t,
+        Err(e) => return (format!("{name}: {e}\n"), Status::Error),
+    };
+    match complete_tokens(&toks, &ctx.analysis.dtd, ctx.analysis.root) {
+        None => (
+            format!("{name}: not potentially valid — no completion exists\n"),
+            Status::Failed,
+        ),
+        Some(w) => {
+            let mut report = String::new();
+            let _ = writeln!(report, "{name}: completable with {} inserted element(s)", w.inserted_count());
+            let _ = writeln!(report, "  {}", w.render_marked(&ctx.analysis.dtd));
+            if let Some(completed) = complete_document(doc, &ctx.analysis.dtd, ctx.analysis.root)
+            {
+                let _ = writeln!(report, "completed document:");
+                let _ = writeln!(report, "{}", completed.to_xml());
+            }
+            (report, Status::Ok)
+        }
+    }
+}
+
+/// `pvx classify`: DTD statistics and recursion class.
+pub fn cmd_classify(ctx: &DtdContext) -> (String, Status) {
+    let a = &ctx.analysis;
+    let mut report = String::new();
+    let _ = writeln!(report, "dtd: {} (root <{}>)", ctx.source, a.name(a.root));
+    let _ = writeln!(report, "  {}", a.stats);
+    let _ = writeln!(report, "  class: {}", a.rec.class);
+    match a.rec.strong_chain_bound() {
+        Some(c) => {
+            let _ = writeln!(
+                report,
+                "  elision chains bounded by {c}: no depth bound needed (WebDB'04 regime)"
+            );
+        }
+        None => {
+            let _ = writeln!(
+                report,
+                "  PV-strong recursion: checking uses a depth bound (default {})",
+                pv_core::depth::DEFAULT_STRONG_DEPTH
+            );
+        }
+    }
+    let recursive: Vec<&str> = a
+        .dtd
+        .ids()
+        .filter(|&x| a.rec.is_recursive(x))
+        .map(|x| a.name(x))
+        .collect();
+    if !recursive.is_empty() {
+        let _ = writeln!(report, "  recursive elements: {}", recursive.join(", "));
+    }
+    let strong: Vec<&str> =
+        a.dtd.ids().filter(|&x| a.rec.is_strong(x)).map(|x| a.name(x)).collect();
+    if !strong.is_empty() {
+        let _ = writeln!(report, "  PV-strong elements: {}", strong.join(", "));
+    }
+    (report, Status::Ok)
+}
+
+/// `pvx lint`: DTD diagnostics.
+pub fn cmd_lint(ctx: &DtdContext) -> (String, Status) {
+    let a = &ctx.analysis;
+    let mut report = String::new();
+    let mut findings = 0usize;
+
+    for x in a.dtd.ids() {
+        if matches!(a.dtd.element(x).content, ContentSpec::Children(_))
+            && !ContentAutomata::for_element(&a.dtd, x).is_deterministic()
+        {
+            findings += 1;
+            let _ = writeln!(
+                report,
+                "warning: content model of <{}> is not 1-unambiguous (XML appendix E \
+                 requires deterministic models): {}",
+                a.name(x),
+                a.dtd.model_to_string(x)
+            );
+        }
+        if a.rec.is_strong(x) {
+            findings += 1;
+            let _ = writeln!(
+                report,
+                "note: <{}> is PV-strong recursive; potential-validity checks for this DTD \
+                 use a depth bound (Example 5 of the paper shows why)",
+                a.name(x)
+            );
+        }
+        if matches!(a.dtd.element(x).content, ContentSpec::Any) {
+            findings += 1;
+            let _ = writeln!(
+                report,
+                "note: <{}> declares ANY content; its element-content checks are trivially \
+                 satisfied (paper Section 4)",
+                a.name(x)
+            );
+        }
+    }
+    if findings == 0 {
+        let _ = writeln!(report, "clean: no findings for {} element types", a.stats.m);
+    }
+    (report, Status::Ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_ctx() -> DtdContext {
+        resolve_dtd(None, None, Some("figure1"), None).unwrap()
+    }
+
+    #[test]
+    fn resolve_builtin() {
+        let ctx = fig1_ctx();
+        assert_eq!(ctx.analysis.stats.m, 7);
+        assert!(resolve_dtd(None, None, Some("nope"), None).is_err());
+    }
+
+    #[test]
+    fn resolve_explicit_dtd() {
+        let ctx =
+            resolve_dtd(Some("<!ELEMENT r EMPTY>"), Some("r"), None, None).unwrap();
+        assert_eq!(ctx.analysis.stats.m, 1);
+        assert!(resolve_dtd(Some("<!ELEMENT r EMPTY>"), None, None, None).is_err());
+    }
+
+    #[test]
+    fn resolve_internal_subset() {
+        let doc = pv_xml::parse("<!DOCTYPE r [<!ELEMENT r (#PCDATA)>]><r>x</r>").unwrap();
+        let ctx = resolve_dtd(None, None, None, Some(&doc)).unwrap();
+        assert_eq!(ctx.source, "internal subset");
+        let plain = pv_xml::parse("<r/>").unwrap();
+        assert!(resolve_dtd(None, None, None, Some(&plain)).is_err());
+    }
+
+    #[test]
+    fn check_reports_both_ways() {
+        let ctx = fig1_ctx();
+        let s = pv_xml::parse("<r><a><b>x</b><c>y</c> z<e/></a></r>").unwrap();
+        let (rep, st) = cmd_check(&ctx, "s", &s, DepthPolicy::Auto);
+        assert_eq!(st, Status::Ok);
+        assert!(rep.contains("POTENTIALLY VALID"));
+        let w = pv_xml::parse("<r><a><b>x</b><e/><c>y</c></a></r>").unwrap();
+        let (rep, st) = cmd_check(&ctx, "w", &w, DepthPolicy::Auto);
+        assert_eq!(st, Status::Failed);
+        assert!(rep.contains("NOT potentially valid"));
+        assert!(rep.contains("<c>"));
+    }
+
+    #[test]
+    fn validate_reports_both_ways() {
+        let ctx = fig1_ctx();
+        let ok = pv_xml::parse("<r><a><b><d>x</d></b><c>y</c><d/></a></r>").unwrap();
+        assert_eq!(cmd_validate(&ctx, "ok", &ok, false).1, Status::Ok);
+        let bad = pv_xml::parse("<r><a><b>x</b><c>y</c> z<e/></a></r>").unwrap();
+        assert_eq!(cmd_validate(&ctx, "bad", &bad, false).1, Status::Failed);
+    }
+
+    #[test]
+    fn complete_marks_insertions() {
+        let ctx = fig1_ctx();
+        let s = pv_xml::parse("<r><a><b>x</b><c>y</c> z<e/></a></r>").unwrap();
+        let (rep, st) = cmd_complete(&ctx, "s", &s);
+        assert_eq!(st, Status::Ok);
+        assert!(rep.contains("2 inserted"));
+        assert!(rep.contains("•<d>"));
+        let w = pv_xml::parse("<r><a><b>x</b><e/><c>y</c></a></r>").unwrap();
+        assert_eq!(cmd_complete(&ctx, "w", &w).1, Status::Failed);
+    }
+
+    #[test]
+    fn classify_names_classes() {
+        let (rep, _) = cmd_classify(&fig1_ctx());
+        assert!(rep.contains("non-recursive"));
+        let t1 = resolve_dtd(None, None, Some("t1"), None).unwrap();
+        let (rep, _) = cmd_classify(&t1);
+        assert!(rep.contains("PV-strong"));
+        assert!(rep.contains("depth bound"));
+    }
+
+    #[test]
+    fn lint_finds_ambiguity_and_strength() {
+        let ctx = resolve_dtd(
+            Some(
+                "<!ELEMENT r ((a, b) | (a, c))><!ELEMENT a (a?)>
+                 <!ELEMENT b EMPTY><!ELEMENT c ANY>",
+            ),
+            Some("r"),
+            None,
+            None,
+        )
+        .unwrap();
+        let (rep, st) = cmd_lint(&ctx);
+        assert_eq!(st, Status::Ok);
+        assert!(rep.contains("not 1-unambiguous"), "{rep}");
+        assert!(rep.contains("PV-strong recursive"), "{rep}");
+        assert!(rep.contains("ANY content"), "{rep}");
+    }
+
+    #[test]
+    fn lint_clean_dtd() {
+        let (rep, _) = cmd_lint(&fig1_ctx());
+        assert!(rep.contains("clean"), "{rep}");
+    }
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(Status::Ok.code(), 0);
+        assert_eq!(Status::Failed.code(), 1);
+        assert_eq!(Status::Error.code(), 2);
+    }
+}

@@ -1,0 +1,351 @@
+//! Whole-document potential validity: **Problem PV** (paper Section 3).
+//!
+//! Solved exactly as the paper prescribes (Section 4): run the element
+//! content recognizer (Problem ECPV) at **every** element node of the
+//! document, over the `Δ_T` child-symbol view of that node. A document is
+//! potentially valid iff its root carries the designated root element type
+//! and every node's content is potentially valid.
+
+use crate::dag::DagSet;
+use crate::depth::DepthPolicy;
+use crate::recognizer::{EcRecognizer, RecCtx, RecognizerStats};
+use crate::token::{ChildSym, Tokens};
+use pv_dtd::DtdAnalysis;
+use pv_xml::{Document, NodeId};
+use std::fmt;
+
+/// Why a document failed the potential-validity check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PvViolationKind {
+    /// The document's root element is not the DTD root `r`
+    /// (Definition 3 requires `root(w) = r`).
+    RootMismatch {
+        /// The root element found in the document.
+        found: String,
+        /// The DTD's designated root.
+        expected: String,
+    },
+    /// An element tag is not declared in the DTD (violates the problem
+    /// precondition `elements(w) ⊆ T`).
+    UndeclaredElement {
+        /// The undeclared name.
+        name: String,
+    },
+    /// A node's child sequence was rejected by the ECRecognizer.
+    ContentRejected {
+        /// Rendered symbol at which recognition failed, e.g. `<c>` or `σ`.
+        symbol: String,
+        /// Index of the offending symbol in the node's child sequence.
+        index: usize,
+    },
+}
+
+/// A potential-validity violation at a specific node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PvViolation {
+    /// The offending node (an element node, or the child node for
+    /// undeclared elements).
+    pub node: NodeId,
+    /// What went wrong.
+    pub kind: PvViolationKind,
+}
+
+impl fmt::Display for PvViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            PvViolationKind::RootMismatch { found, expected } => {
+                write!(f, "root element <{found}> does not match DTD root <{expected}>")
+            }
+            PvViolationKind::UndeclaredElement { name } => {
+                write!(f, "element <{name}> at {} is not declared", self.node)
+            }
+            PvViolationKind::ContentRejected { symbol, index } => write!(
+                f,
+                "content of node {} is not potentially valid: symbol {symbol} (child #{index}) \
+                 cannot be matched by any markup insertion",
+                self.node
+            ),
+        }
+    }
+}
+
+/// Result of a whole-document check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PvOutcome {
+    /// First violation found in document order, or `None` if potentially
+    /// valid.
+    pub violation: Option<PvViolation>,
+    /// Work counters accumulated over all per-node recognizers.
+    pub stats: RecognizerStats,
+}
+
+impl PvOutcome {
+    /// `true` iff the document is potentially valid.
+    #[inline]
+    pub fn is_potentially_valid(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// A reusable potential-validity checker for one compiled DTD.
+///
+/// Construction compiles the per-element DAGs once (`O(k)`); each document
+/// check is then `O(k·D·n)` (Theorem 4), linear in the document for a fixed
+/// DTD.
+pub struct PvChecker<'a> {
+    analysis: &'a DtdAnalysis,
+    dags: DagSet,
+    depth: u32,
+}
+
+impl<'a> PvChecker<'a> {
+    /// Builds a checker with the default (automatic) depth policy.
+    pub fn new(analysis: &'a DtdAnalysis) -> Self {
+        Self::with_policy(analysis, DepthPolicy::Auto)
+    }
+
+    /// Builds a checker with an explicit depth policy.
+    pub fn with_policy(analysis: &'a DtdAnalysis, policy: DepthPolicy) -> Self {
+        PvChecker { analysis, dags: DagSet::new(analysis), depth: policy.resolve(analysis) }
+    }
+
+    /// The compiled DTD this checker runs against.
+    #[inline]
+    pub fn analysis(&self) -> &'a DtdAnalysis {
+        self.analysis
+    }
+
+    /// The per-element DAGs (exposed for the incremental layer and tests).
+    #[inline]
+    pub fn dags(&self) -> &DagSet {
+        &self.dags
+    }
+
+    /// The resolved elision budget per ECPV instance.
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Checks Problem PV for the whole document.
+    pub fn check_document(&self, doc: &Document) -> PvOutcome {
+        let mut stats = RecognizerStats::default();
+        // Root element type must match r.
+        let root_name = doc.name(doc.root()).unwrap_or("");
+        if self.analysis.id(root_name) != Some(self.analysis.root) {
+            return PvOutcome {
+                violation: Some(PvViolation {
+                    node: doc.root(),
+                    kind: PvViolationKind::RootMismatch {
+                        found: root_name.to_owned(),
+                        expected: self.analysis.name(self.analysis.root).to_owned(),
+                    },
+                }),
+                stats,
+            };
+        }
+        for node in doc.elements() {
+            if let Some(v) = self.check_node(doc, node, &mut stats) {
+                return PvOutcome { violation: Some(v), stats };
+            }
+        }
+        PvOutcome { violation: None, stats }
+    }
+
+    /// Checks Problem ECPV for a single node's content (used by the
+    /// incremental layer after markup edits).
+    pub fn check_node(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        stats: &mut RecognizerStats,
+    ) -> Option<PvViolation> {
+        let elem = match self.analysis.id(doc.name(node).unwrap_or("")) {
+            Some(e) => e,
+            None => {
+                return Some(PvViolation {
+                    node,
+                    kind: PvViolationKind::UndeclaredElement {
+                        name: doc.name(node).unwrap_or("").to_owned(),
+                    },
+                })
+            }
+        };
+        let syms = match Tokens::children(doc, node, &self.analysis.dtd) {
+            Ok(s) => s,
+            Err(e) => {
+                return Some(PvViolation {
+                    node: e.node,
+                    kind: PvViolationKind::UndeclaredElement { name: e.name },
+                })
+            }
+        };
+        self.check_symbols(elem, &syms, stats).map(|(index, symbol)| PvViolation {
+            node,
+            kind: PvViolationKind::ContentRejected { symbol, index },
+        })
+    }
+
+    /// Runs one ECPV instance; returns the failing index/symbol, if any.
+    pub fn check_symbols(
+        &self,
+        elem: pv_dtd::ElemId,
+        syms: &[ChildSym],
+        stats: &mut RecognizerStats,
+    ) -> Option<(usize, String)> {
+        let ctx = RecCtx::new(self.analysis, &self.dags);
+        let mut rec = EcRecognizer::new(ctx, elem, self.depth);
+        for (i, &x) in syms.iter().enumerate() {
+            stats.symbols += 1;
+            if !rec.validate(x, stats) {
+                return Some((i, x.display(&self.analysis.dtd)));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_dtd::builtin::BuiltinDtd;
+
+    fn check(b: BuiltinDtd, xml: &str) -> PvOutcome {
+        let analysis = b.analysis();
+        let checker = PvChecker::new(&analysis);
+        let doc = pv_xml::parse(xml).unwrap();
+        checker.check_document(&doc)
+    }
+
+    const W: &str =
+        "<r><a><b>A quick brown</b><e></e><c> fox jumps over a lazy</c> dog</a></r>";
+    const S: &str =
+        "<r><a><b>A quick brown</b><c> fox jumps over a lazy</c> dog<e></e></a></r>";
+    /// Figure 3 / Example 2: the completed, valid extension of `s`.
+    const S_COMPLETED: &str =
+        "<r><a><b><d>A quick brown</d></b><c> fox jumps over a lazy</c><d> dog<e></e></d></a></r>";
+
+    #[test]
+    fn example1_w_is_not_potentially_valid() {
+        let out = check(BuiltinDtd::Figure1, W);
+        assert!(!out.is_potentially_valid());
+        let v = out.violation.unwrap();
+        assert!(
+            matches!(&v.kind, PvViolationKind::ContentRejected { symbol, index: 2 }
+                if symbol == "<c>"),
+            "expected rejection at <c> (Figure 6 A step 5), got {v:?}"
+        );
+    }
+
+    #[test]
+    fn example1_s_is_potentially_valid() {
+        assert!(check(BuiltinDtd::Figure1, S).is_potentially_valid());
+    }
+
+    #[test]
+    fn example2_completed_document_is_potentially_valid() {
+        // Valid documents are trivially potentially valid.
+        assert!(check(BuiltinDtd::Figure1, S_COMPLETED).is_potentially_valid());
+    }
+
+    #[test]
+    fn root_mismatch_detected() {
+        let out = check(BuiltinDtd::Figure1, "<a><b/></a>");
+        assert!(matches!(
+            out.violation.unwrap().kind,
+            PvViolationKind::RootMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn undeclared_element_detected() {
+        let out = check(BuiltinDtd::Figure1, "<r><zzz/></r>");
+        assert!(matches!(
+            out.violation.unwrap().kind,
+            PvViolationKind::UndeclaredElement { name } if name == "zzz"
+        ));
+    }
+
+    #[test]
+    fn empty_root_is_potentially_valid() {
+        // <r/> — everything below is elidable.
+        assert!(check(BuiltinDtd::Figure1, "<r/>").is_potentially_valid());
+    }
+
+    #[test]
+    fn bare_text_under_root_is_potentially_valid() {
+        // "A quick brown fox" with no markup at all: σ reaches through
+        // a → c, so wrapping tags can still be inserted.
+        assert!(check(BuiltinDtd::Figure1, "<r>A quick brown fox</r>").is_potentially_valid());
+    }
+
+    #[test]
+    fn violation_deep_in_document_found() {
+        // Deep inside: <e> with content (must be EMPTY).
+        let out = check(BuiltinDtd::Figure1, "<r><a><b/><c/><d><e>boom</e></d></a></r>");
+        let v = out.violation.unwrap();
+        assert!(matches!(v.kind, PvViolationKind::ContentRejected { .. }));
+    }
+
+    #[test]
+    fn example5_document_checks_with_default_policy() {
+        // <a><b/><b/></a> against T1 — Figure 7's would-be-infinite case;
+        // Auto policy bounds the speculation and accepts.
+        assert!(check(BuiltinDtd::T1, "<a><b/><b/></a>").is_potentially_valid());
+    }
+
+    #[test]
+    fn example6_document_accepts() {
+        assert!(check(BuiltinDtd::T2, "<a><b/><b/></a>").is_potentially_valid());
+    }
+
+    #[test]
+    fn strong_dtd_depth_zero_rejects_deep_case() {
+        let analysis = BuiltinDtd::T2.analysis();
+        let checker = PvChecker::with_policy(&analysis, DepthPolicy::Bounded(0));
+        let doc = pv_xml::parse("<a><b/><b/><b/></a>").unwrap();
+        assert!(!checker.check_document(&doc).is_potentially_valid());
+        let checker = PvChecker::with_policy(&analysis, DepthPolicy::Bounded(1));
+        assert!(checker.check_document(&doc).is_potentially_valid());
+    }
+
+    #[test]
+    fn xhtml_partial_markup_accepts() {
+        let xml = "<html><body><p>Hello <b>bold <i>and italic</i></b> world</p>\
+                   <ul><li>one</li><li>two</li></ul></body></html>";
+        assert!(check(BuiltinDtd::XhtmlBasic, xml).is_potentially_valid());
+    }
+
+    #[test]
+    fn xhtml_misplaced_block_rejects() {
+        // <li> directly under <p> can never be fixed by adding markup.
+        let xml = "<html><body><p><li>nope</li></p></body></html>";
+        assert!(!check(BuiltinDtd::XhtmlBasic, xml).is_potentially_valid());
+    }
+
+    #[test]
+    fn tei_incomplete_header_accepts() {
+        // teiHeader structure missing entirely; title text floating — all
+        // completable.
+        let xml = "<TEI><text><body><div><p>Call me <name>Ishmael</name>.</p></div></body>\
+                   </text></TEI>";
+        assert!(check(BuiltinDtd::TeiLite, xml).is_potentially_valid());
+    }
+
+    #[test]
+    fn stats_populated() {
+        let out = check(BuiltinDtd::Figure1, S);
+        assert!(out.stats.symbols >= 4);
+        assert!(out.stats.node_visits > 0);
+    }
+
+    #[test]
+    fn check_node_reusable() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let checker = PvChecker::new(&analysis);
+        let doc = pv_xml::parse(S).unwrap();
+        let a = doc.children(doc.root())[0];
+        let mut stats = RecognizerStats::default();
+        assert!(checker.check_node(&doc, a, &mut stats).is_none());
+    }
+}

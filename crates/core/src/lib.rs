@@ -1,0 +1,78 @@
+//! # pv-core — potential validity of document-centric XML documents
+//!
+//! The primary contribution of Iacob, Dekhtyar & Dekhtyar, *On Potential
+//! Validity of Document-Centric XML Documents* (ICDE 2006): deciding, in
+//! linear time, whether an in-progress XML document can still be completed
+//! into a valid one using **markup insertions only**.
+//!
+//! ## The problem
+//!
+//! During document-centric editing (marking up pre-existing text), the
+//! working document is almost never valid. Two very different situations
+//! hide behind "invalid":
+//!
+//! 1. the encoding is merely **incomplete** — more tags will fix it;
+//! 2. the encoding **contradicts** the DTD — no amount of additional markup
+//!    can ever fix it.
+//!
+//! A document of the first kind is *potentially valid* (Definition 3:
+//! `w ∈ D*(T, r)` iff some extension `ω ∈ Ext(w, T)` is valid). An editor
+//! wants to keep the invariant "the buffer is always potentially valid" and
+//! to check it **incrementally** after every edit.
+//!
+//! ## What this crate provides
+//!
+//! * [`token`] — the `δ_T` and `Δ_T` operators: XML documents to token
+//!   strings over `{<x>, </x>, σ}` (Sections 3.1 and 4).
+//! * [`dag`] — the per-element DAG model `DAG_x` built from PV-normalized
+//!   content models (Section 4.2, Figure 4).
+//! * [`recognizer`] — the **ECRecognizer** algorithm (Figure 5): a greedy,
+//!   depth-bounded recognizer solving Element Content Potential Validity
+//!   in `O(k·D)` per input symbol (Theorem 4).
+//! * [`checker`] — whole-document potential validity (Problem PV) by
+//!   running ECPV at every element node, with diagnostics pointing at the
+//!   offending node and symbol.
+//! * [`incremental`] — update-time checks for editors: O(1) character-data
+//!   insertion (Proposition 3), free deletions and data updates
+//!   (Theorem 2), and two-node checks for markup insertion.
+//! * [`suggest`] — editor guidance: which symbols may come next at a
+//!   position (the tag-palette query of the paper's xTagger editor \[10\]).
+//! * [`depth`] — depth policies: `Unbounded` is proven safe for
+//!   non-PV-strong DTDs (elision chains follow strong edges only); the
+//!   paper's bound `D` applies to PV-strong DTDs (Section 4.3.1).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pv_dtd::builtin::BuiltinDtd;
+//! use pv_core::checker::PvChecker;
+//!
+//! let analysis = BuiltinDtd::Figure1.analysis();
+//! let checker = PvChecker::new(&analysis);
+//!
+//! // Example 1 of the paper: `s` is potentially valid …
+//! let s = pv_xml::parse(
+//!     "<r><a><b>A quick brown</b><c> fox jumps over a lazy</c> dog<e></e></a></r>",
+//! ).unwrap();
+//! assert!(checker.check_document(&s).is_potentially_valid());
+//!
+//! // … while `w` is not: the order b, e, c contradicts the DTD.
+//! let w = pv_xml::parse(
+//!     "<r><a><b>A quick brown</b><e></e><c> fox jumps over a lazy</c> dog</a></r>",
+//! ).unwrap();
+//! assert!(!checker.check_document(&w).is_potentially_valid());
+//! ```
+
+pub mod checker;
+pub mod dag;
+pub mod depth;
+pub mod incremental;
+pub mod recognizer;
+pub mod suggest;
+pub mod token;
+
+pub use checker::{PvChecker, PvOutcome, PvViolation, PvViolationKind};
+pub use dag::{DagNode, DagNodeKind, DagSet, ElementDag};
+pub use depth::DepthPolicy;
+pub use recognizer::{EcRecognizer, RecognizerStats};
+pub use token::{ChildSym, Tok, TokenError, Tokens};

@@ -1,0 +1,254 @@
+//! The `δ_T` and `Δ_T` operators (paper Sections 3.1 and 4).
+//!
+//! * `δ_T` maps an XML string to a token string over the grammar alphabet
+//!   `Σ = {σ} ∪ {<x>, </x> | x ∈ T}`: markup structure is preserved and
+//!   every maximal run of (non-empty) character data collapses to one `σ`.
+//! * `Δ_T` is the per-node variant: the root's tags around the **children
+//!   only**, each child element reduced to an empty tag pair — the input
+//!   alphabet of the element-content recognizer.
+//!
+//! Both operators resolve document tag names against the DTD; an element
+//! not declared in `T` violates the problem precondition
+//! (`elements(w) ⊆ T`) and is reported as a [`TokenError`].
+
+use pv_dtd::{Dtd, ElemId};
+use pv_xml::{ChildToken, Document, NodeId};
+use std::fmt;
+
+/// One terminal of the grammar alphabet `Σ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tok {
+    /// Start tag `<x>`.
+    Open(ElemId),
+    /// End tag `</x>`.
+    Close(ElemId),
+    /// A non-empty character-data run.
+    Sigma,
+}
+
+/// One symbol of a node's **child** sequence (the recognizer's input
+/// alphabet: elements and σ, no tags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChildSym {
+    /// A child element of the given type.
+    Elem(ElemId),
+    /// A character-data run.
+    Sigma,
+}
+
+impl ChildSym {
+    /// Pretty-prints against a DTD (for diagnostics).
+    pub fn display(&self, dtd: &Dtd) -> String {
+        match self {
+            ChildSym::Elem(id) => format!("<{}>", dtd.name(*id)),
+            ChildSym::Sigma => "σ".to_owned(),
+        }
+    }
+}
+
+/// A document element whose tag name is not declared in the DTD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenError {
+    /// The undeclared tag name.
+    pub name: String,
+    /// The node carrying it.
+    pub node: NodeId,
+}
+
+impl fmt::Display for TokenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "element <{}> at node {} is not declared in the DTD", self.name, self.node)
+    }
+}
+
+impl std::error::Error for TokenError {}
+
+/// Token-string construction (`δ_T`, `Δ_T`) over a `(Document, Dtd)` pair.
+pub struct Tokens;
+
+impl Tokens {
+    /// `δ_T(w)` of the subtree rooted at `node`: the full token string with
+    /// all markup and collapsed character data (paper Section 3.1).
+    pub fn delta(doc: &Document, node: NodeId, dtd: &Dtd) -> Result<Vec<Tok>, TokenError> {
+        let mut out = Vec::new();
+        // Iterative traversal; mirrors Document::descendants but emits
+        // Close tokens and merges sibling text runs.
+        enum Step {
+            Enter(NodeId),
+            Close(ElemId),
+        }
+        let mut stack = vec![Step::Enter(node)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Close(id) => out.push(Tok::Close(id)),
+                Step::Enter(n) => {
+                    let nd = doc.node(n);
+                    match &nd.kind {
+                        pv_xml::NodeKind::Text(t)
+                            if !t.is_empty() && out.last() != Some(&Tok::Sigma) => {
+                                out.push(Tok::Sigma);
+                            }
+                        pv_xml::NodeKind::Element { name, .. } => {
+                            let id = dtd.id(name).ok_or_else(|| TokenError {
+                                name: name.to_string(),
+                                node: n,
+                            })?;
+                            out.push(Tok::Open(id));
+                            stack.push(Step::Close(id));
+                            for &c in nd.children.iter().rev() {
+                                stack.push(Step::Enter(c));
+                            }
+                        }
+                        // Comments/PIs are structure-transparent.
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The child-symbol sequence of element `node` — the essential content
+    /// of `Δ_T` (paper Section 4) without the enclosing tags. This is the
+    /// ECRecognizer's input for one ECPV instance.
+    pub fn children(
+        doc: &Document,
+        node: NodeId,
+        dtd: &Dtd,
+    ) -> Result<Vec<ChildSym>, TokenError> {
+        let toks = doc.child_tokens(node);
+        let mut out: Vec<ChildSym> = Vec::with_capacity(toks.len());
+        for t in toks {
+            match t {
+                // Merge σ runs straddling comments/PIs, mirroring δ_T.
+                ChildToken::Sigma => {
+                    if out.last() != Some(&ChildSym::Sigma) {
+                        out.push(ChildSym::Sigma);
+                    }
+                }
+                ChildToken::Element(name, id) => {
+                    let elem = dtd
+                        .id(name)
+                        .ok_or_else(|| TokenError { name: name.to_owned(), node: id })?;
+                    out.push(ChildSym::Elem(elem));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Renders a δ token string for diagnostics/tests, e.g.
+    /// `<a><b>σ</b></a>`.
+    pub fn render(toks: &[Tok], dtd: &Dtd) -> String {
+        let mut s = String::new();
+        for t in toks {
+            match t {
+                Tok::Open(id) => {
+                    s.push('<');
+                    s.push_str(dtd.name(*id));
+                    s.push('>');
+                }
+                Tok::Close(id) => {
+                    s.push_str("</");
+                    s.push_str(dtd.name(*id));
+                    s.push('>');
+                }
+                Tok::Sigma => s.push('σ'),
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_dtd::builtin::BuiltinDtd;
+
+    fn fig1() -> pv_dtd::Dtd {
+        BuiltinDtd::Figure1.dtd()
+    }
+
+    #[test]
+    fn delta_matches_paper_example() {
+        // Section 3.1's worked example.
+        let doc = pv_xml::parse(
+            "<r><a><b>A quick brown</b><c> fox jumps over a lazy</c><d> dog<e></e></d></a></r>",
+        )
+        .unwrap();
+        let dtd = fig1();
+        let a = doc.children(doc.root())[0];
+        let toks = Tokens::delta(&doc, a, &dtd).unwrap();
+        assert_eq!(Tokens::render(&toks, &dtd), "<a><b>σ</b><c>σ</c><d>σ<e></e></d></a>");
+    }
+
+    #[test]
+    fn delta_collapses_adjacent_text() {
+        let mut doc = pv_xml::parse("<d></d>").unwrap();
+        doc.append_text(doc.root(), "one").unwrap();
+        doc.append_text(doc.root(), "two").unwrap();
+        let dtd = fig1();
+        let toks = Tokens::delta(&doc, doc.root(), &dtd).unwrap();
+        assert_eq!(Tokens::render(&toks, &dtd), "<d>σ</d>");
+    }
+
+    #[test]
+    fn delta_drops_empty_text() {
+        let mut doc = pv_xml::parse("<d></d>").unwrap();
+        doc.append_text(doc.root(), "").unwrap();
+        let dtd = fig1();
+        let toks = Tokens::delta(&doc, doc.root(), &dtd).unwrap();
+        assert_eq!(toks, vec![Tok::Open(dtd.id("d").unwrap()), Tok::Close(dtd.id("d").unwrap())]);
+    }
+
+    #[test]
+    fn children_matches_paper_delta_example() {
+        // Section 4: Δ_T of string w is <a><b></b><e></e><c></c>σ</a>;
+        // our child view is the inner symbol sequence b, e, c, σ.
+        let doc = pv_xml::parse(
+            "<r><a><b>A quick brown</b><e></e><c> fox jumps over a lazy</c> dog</a></r>",
+        )
+        .unwrap();
+        let dtd = fig1();
+        let a = doc.children(doc.root())[0];
+        let syms = Tokens::children(&doc, a, &dtd).unwrap();
+        let rendered: Vec<String> = syms.iter().map(|s| s.display(&dtd)).collect();
+        assert_eq!(rendered, ["<b>", "<e>", "<c>", "σ"]);
+    }
+
+    #[test]
+    fn undeclared_element_is_reported() {
+        let doc = pv_xml::parse("<r><zz/></r>").unwrap();
+        let dtd = fig1();
+        let err = Tokens::delta(&doc, doc.root(), &dtd).unwrap_err();
+        assert_eq!(err.name, "zz");
+        let err2 = Tokens::children(&doc, doc.root(), &dtd).unwrap_err();
+        assert_eq!(err2.name, "zz");
+    }
+
+    #[test]
+    fn comments_are_transparent() {
+        let doc = pv_xml::parse("<d>one<!-- note -->two</d>").unwrap();
+        let dtd = fig1();
+        let toks = Tokens::delta(&doc, doc.root(), &dtd).unwrap();
+        // Text runs on both sides of the comment merge into one σ in δ_T
+        // (the comment carries no structure).
+        assert_eq!(Tokens::render(&toks, &dtd), "<d>σ</d>");
+    }
+
+    #[test]
+    fn deep_document_tokenizes() {
+        let mut src = String::new();
+        let n = 30_000;
+        for _ in 0..n {
+            src.push_str("<a>");
+        }
+        for _ in 0..n {
+            src.push_str("</a>");
+        }
+        let dtd = pv_dtd::Dtd::parse("<!ELEMENT a (a?)>").unwrap();
+        let doc = pv_xml::parse(&src).unwrap();
+        let toks = Tokens::delta(&doc, doc.root(), &dtd).unwrap();
+        assert_eq!(toks.len(), 2 * n);
+    }
+}

@@ -1,0 +1,128 @@
+//! One-stop bundle of everything a potential-validity checker needs about a
+//! DTD: parsed declarations, PV-normalized models, reachability lookup
+//! table, recursion classification, usability and size statistics.
+//!
+//! Constructing a [`DtdAnalysis`] is the "DTD compilation" step of the
+//! system; it is done once per (DTD, root) pair and shared by every
+//! document check, exactly as the paper's precomputation story prescribes
+//! (Sections 4.1–4.2).
+
+use crate::ast::{Dtd, ElemId};
+use crate::classify::RecursionInfo;
+use crate::error::{DtdError, DtdErrorKind};
+use crate::normalize::{normalize, NormalizedDtd};
+use crate::reach::Reachability;
+use crate::stats::DtdStats;
+use crate::usable::Usability;
+use crate::Result;
+
+/// A compiled DTD, rooted at a specific element.
+#[derive(Debug, Clone)]
+pub struct DtdAnalysis {
+    /// The source DTD.
+    pub dtd: Dtd,
+    /// The designated root element `r`.
+    pub root: ElemId,
+    /// PV-normalized content models (Corollary 3.1 + Proposition 1).
+    pub norm: NormalizedDtd,
+    /// Reachability closure / lookup table `LT` (Definition 5).
+    pub reach: Reachability,
+    /// Recursion classification (Definitions 6–8).
+    pub rec: RecursionInfo,
+    /// Size statistics (`m`, `k`, …).
+    pub stats: DtdStats,
+}
+
+impl DtdAnalysis {
+    /// Compiles `dtd` with root element named `root`.
+    ///
+    /// Fails if `root` is not declared or if any element is unusable
+    /// (the paper's standing assumption in Section 3.3; unusable elements
+    /// would break Theorem 3's nullability and with it the greedy
+    /// recognizer's skip rule).
+    pub fn new(dtd: Dtd, root: &str) -> Result<Self> {
+        let root_id = dtd
+            .id(root)
+            .ok_or_else(|| DtdError::new(DtdErrorKind::UnknownRoot(root.to_owned()), 0))?;
+        let usability = Usability::new(&dtd, root_id);
+        usability.require_all_usable(&dtd)?;
+        Ok(Self::new_unchecked(dtd, root_id))
+    }
+
+    /// Compiles without the usability check. Intended for experiments on
+    /// deliberately ill-formed DTDs; checkers assume usable DTDs and may
+    /// give wrong answers otherwise (Theorem 3's precondition).
+    pub fn new_unchecked(dtd: Dtd, root: ElemId) -> Self {
+        let norm = normalize(&dtd);
+        let reach = Reachability::new(&dtd);
+        let rec = RecursionInfo::new(&dtd, &norm, &reach);
+        let stats = DtdStats::new(&dtd);
+        DtdAnalysis { dtd, root, norm, reach, rec, stats }
+    }
+
+    /// Parses a DTD source and compiles it in one step.
+    pub fn parse(src: &str, root: &str) -> Result<Self> {
+        Self::new(Dtd::parse(src)?, root)
+    }
+
+    /// The usability analysis for this root (recomputed on demand; it is
+    /// only needed for diagnostics after construction).
+    pub fn usability(&self) -> Usability {
+        Usability::new(&self.dtd, self.root)
+    }
+
+    /// Resolves a document element name to its [`ElemId`].
+    #[inline]
+    pub fn id(&self, name: &str) -> Option<ElemId> {
+        self.dtd.id(name)
+    }
+
+    /// Name of element `id`.
+    #[inline]
+    pub fn name(&self, id: ElemId) -> &str {
+        self.dtd.name(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::DtdClass;
+
+    const FIGURE1: &str = "
+        <!ELEMENT r (a+)><!ELEMENT a (b?, (c | f), d)><!ELEMENT b (d | f)>
+        <!ELEMENT c #PCDATA><!ELEMENT d (#PCDATA | e)*>
+        <!ELEMENT e EMPTY><!ELEMENT f (c, e)>";
+
+    #[test]
+    fn compiles_figure1() {
+        let a = DtdAnalysis::parse(FIGURE1, "r").unwrap();
+        assert_eq!(a.rec.class, DtdClass::NonRecursive);
+        assert_eq!(a.stats.m, 7);
+        assert_eq!(a.name(a.root), "r");
+    }
+
+    #[test]
+    fn unknown_root_rejected() {
+        assert!(matches!(
+            DtdAnalysis::parse(FIGURE1, "nope").unwrap_err().kind,
+            DtdErrorKind::UnknownRoot(_)
+        ));
+    }
+
+    #[test]
+    fn unusable_element_rejected() {
+        let err = DtdAnalysis::parse("<!ELEMENT r (a)><!ELEMENT a EMPTY><!ELEMENT z (z)>", "r")
+            .unwrap_err();
+        assert!(matches!(err.kind, DtdErrorKind::UnusableElement(n) if n == "z"));
+    }
+
+    #[test]
+    fn unchecked_skips_usability() {
+        let dtd = Dtd::parse("<!ELEMENT r (a)><!ELEMENT a EMPTY><!ELEMENT z (z)>").unwrap();
+        let root = dtd.id("r").unwrap();
+        let a = DtdAnalysis::new_unchecked(dtd, root);
+        assert_eq!(a.stats.m, 3);
+        assert_eq!(a.usability().unusable().len(), 1);
+    }
+}

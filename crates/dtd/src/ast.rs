@@ -1,0 +1,334 @@
+//! The DTD abstract syntax: a DTD `T = ⟨Γ, T⟩` is a set of element type
+//! declarations (Γ) over a set of element types (T), exactly the paper's
+//! Section 2 notation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an element type within a [`Dtd`] (an index into
+/// [`Dtd::elements`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElemId(pub u32);
+
+impl ElemId {
+    /// The dense index of this element type.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A *content particle*: the regular-expression body of a `children` content
+/// model (`cp` in the XML grammar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cp {
+    /// A reference to an element type.
+    Name(ElemId),
+    /// `(a, b, …)` — sequence.
+    Seq(Vec<Cp>),
+    /// `(a | b | …)` — choice.
+    Choice(Vec<Cp>),
+    /// `e?` — optional.
+    Opt(Box<Cp>),
+    /// `e*` — zero or more.
+    Star(Box<Cp>),
+    /// `e+` — one or more.
+    Plus(Box<Cp>),
+}
+
+impl Cp {
+    /// All element ids occurring in this particle, with duplicates, in
+    /// left-to-right order. The count of occurrences summed over all
+    /// declarations is the paper's DTD-size measure `k`.
+    pub fn occurrences(&self, out: &mut Vec<ElemId>) {
+        match self {
+            Cp::Name(id) => out.push(*id),
+            Cp::Seq(cs) | Cp::Choice(cs) => {
+                for c in cs {
+                    c.occurrences(out);
+                }
+            }
+            Cp::Opt(c) | Cp::Star(c) | Cp::Plus(c) => c.occurrences(out),
+        }
+    }
+}
+
+/// The right-hand side of an `<!ELEMENT>` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentSpec {
+    /// `EMPTY` — no content at all.
+    Empty,
+    /// `ANY` — any sequence of declared elements and character data.
+    Any,
+    /// `(#PCDATA)` — character data only.
+    PcdataOnly,
+    /// `(#PCDATA | a | b)*` — mixed content over the listed element types.
+    Mixed(Vec<ElemId>),
+    /// `children` content: a full regular expression.
+    Children(Cp),
+}
+
+impl ContentSpec {
+    /// `true` if character data is directly allowed in this content model.
+    pub fn allows_pcdata(&self) -> bool {
+        matches!(self, ContentSpec::Any | ContentSpec::PcdataOnly | ContentSpec::Mixed(_))
+    }
+
+    /// All element occurrences in the model (empty for
+    /// `EMPTY`/`ANY`/`(#PCDATA)`).
+    pub fn occurrences(&self) -> Vec<ElemId> {
+        let mut out = Vec::new();
+        match self {
+            ContentSpec::Mixed(ids) => out.extend_from_slice(ids),
+            ContentSpec::Children(cp) => cp.occurrences(&mut out),
+            _ => {}
+        }
+        out
+    }
+}
+
+/// One `<!ELEMENT name content>` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementDecl {
+    /// Element type name.
+    pub name: Box<str>,
+    /// The declared content model.
+    pub content: ContentSpec,
+}
+
+/// A recorded (but semantically inert) `<!ATTLIST>` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttlistDecl {
+    /// The element the attribute list belongs to.
+    pub element: Box<str>,
+    /// Raw text of the attribute definitions.
+    pub raw: String,
+}
+
+/// A parsed DTD: the paper's `T = ⟨Γ, T⟩`.
+#[derive(Debug, Clone)]
+pub struct Dtd {
+    /// Element declarations, indexed by [`ElemId`].
+    pub elements: Vec<ElementDecl>,
+    /// Attribute-list declarations (never affect potential validity).
+    pub attlists: Vec<AttlistDecl>,
+    index: HashMap<Box<str>, ElemId>,
+}
+
+impl Dtd {
+    /// Builds a DTD from declarations; internal (use [`Dtd::parse`] or the
+    /// builders in [`crate::builtin`]).
+    pub(crate) fn from_parts(elements: Vec<ElementDecl>, attlists: Vec<AttlistDecl>) -> Self {
+        let index = elements
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.name.clone(), ElemId(i as u32)))
+            .collect();
+        Dtd { elements, attlists, index }
+    }
+
+    /// Number of declared element types — the paper's `m = |T|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// `true` if no element types are declared.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Looks up an element type by name.
+    #[inline]
+    pub fn id(&self, name: &str) -> Option<ElemId> {
+        self.index.get(name).copied()
+    }
+
+    /// The declaration for `id`.
+    #[inline]
+    pub fn element(&self, id: ElemId) -> &ElementDecl {
+        &self.elements[id.index()]
+    }
+
+    /// The name of element type `id`.
+    #[inline]
+    pub fn name(&self, id: ElemId) -> &str {
+        &self.elements[id.index()].name
+    }
+
+    /// Iterator over `(id, decl)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ElemId, &ElementDecl)> {
+        self.elements.iter().enumerate().map(|(i, e)| (ElemId(i as u32), e))
+    }
+
+    /// All element ids.
+    pub fn ids(&self) -> impl Iterator<Item = ElemId> + 'static {
+        (0..self.elements.len() as u32).map(ElemId)
+    }
+
+    /// Renders the content model of `id` in DTD syntax (for diagnostics and
+    /// round-trip tests).
+    pub fn model_to_string(&self, id: ElemId) -> String {
+        let mut s = String::new();
+        self.write_spec(&self.element(id).content, &mut s);
+        s
+    }
+
+    fn write_spec(&self, spec: &ContentSpec, out: &mut String) {
+        match spec {
+            ContentSpec::Empty => out.push_str("EMPTY"),
+            ContentSpec::Any => out.push_str("ANY"),
+            ContentSpec::PcdataOnly => out.push_str("(#PCDATA)"),
+            ContentSpec::Mixed(ids) => {
+                out.push_str("(#PCDATA");
+                for id in ids {
+                    out.push_str(" | ");
+                    out.push_str(self.name(*id));
+                }
+                out.push_str(")*");
+            }
+            ContentSpec::Children(cp) => {
+                // XML requires a parenthesized top level: `(a)+`, not `a+`.
+                let mut body = String::new();
+                self.write_cp(cp, &mut body, true);
+                if body.starts_with('(') {
+                    out.push_str(&body);
+                } else {
+                    out.push('(');
+                    out.push_str(&body);
+                    out.push(')');
+                }
+            }
+        }
+    }
+
+    fn write_cp(&self, cp: &Cp, out: &mut String, force_parens: bool) {
+        match cp {
+            Cp::Name(id) => out.push_str(self.name(*id)),
+            Cp::Seq(cs) => {
+                out.push('(');
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    self.write_cp(c, out, false);
+                }
+                out.push(')');
+            }
+            Cp::Choice(cs) => {
+                out.push('(');
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" | ");
+                    }
+                    self.write_cp(c, out, false);
+                }
+                out.push(')');
+            }
+            Cp::Opt(c) => {
+                self.write_atomish(c, out);
+                out.push('?');
+            }
+            Cp::Star(c) => {
+                self.write_atomish(c, out);
+                out.push('*');
+            }
+            Cp::Plus(c) => {
+                self.write_atomish(c, out);
+                out.push('+');
+            }
+        }
+        let _ = force_parens;
+    }
+
+    fn write_atomish(&self, cp: &Cp, out: &mut String) {
+        match cp {
+            Cp::Name(_) | Cp::Seq(_) | Cp::Choice(_) => self.write_cp(cp, out, false),
+            // x?* etc. need parentheses
+            _ => {
+                out.push('(');
+                self.write_cp(cp, out, false);
+                out.push(')');
+            }
+        }
+    }
+
+    /// Renders the full DTD as `<!ELEMENT …>` declarations.
+    pub fn to_dtd_string(&self) -> String {
+        let mut out = String::new();
+        for (id, decl) in self.iter() {
+            out.push_str("<!ELEMENT ");
+            out.push_str(&decl.name);
+            out.push(' ');
+            out.push_str(&self.model_to_string(id));
+            out.push_str(">\n");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Dtd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_dtd_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dtd {
+        // <!ELEMENT r (a+)> <!ELEMENT a EMPTY>
+        Dtd::from_parts(
+            vec![
+                ElementDecl {
+                    name: "r".into(),
+                    content: ContentSpec::Children(Cp::Plus(Box::new(Cp::Name(ElemId(1))))),
+                },
+                ElementDecl { name: "a".into(), content: ContentSpec::Empty },
+            ],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let d = tiny();
+        assert_eq!(d.id("r"), Some(ElemId(0)));
+        assert_eq!(d.id("a"), Some(ElemId(1)));
+        assert_eq!(d.id("z"), None);
+        assert_eq!(d.name(ElemId(1)), "a");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn occurrences_counted_with_duplicates() {
+        let cp = Cp::Seq(vec![
+            Cp::Name(ElemId(0)),
+            Cp::Star(Box::new(Cp::Choice(vec![Cp::Name(ElemId(1)), Cp::Name(ElemId(0))]))),
+        ]);
+        let mut occ = Vec::new();
+        cp.occurrences(&mut occ);
+        assert_eq!(occ, vec![ElemId(0), ElemId(1), ElemId(0)]);
+    }
+
+    #[test]
+    fn model_rendering() {
+        let d = tiny();
+        assert_eq!(d.model_to_string(ElemId(0)), "(a+)");
+        assert_eq!(d.model_to_string(ElemId(1)), "EMPTY");
+        let s = d.to_dtd_string();
+        assert!(s.contains("<!ELEMENT r (a+)>"));
+        assert!(s.contains("<!ELEMENT a EMPTY>"));
+    }
+
+    #[test]
+    fn allows_pcdata() {
+        assert!(ContentSpec::PcdataOnly.allows_pcdata());
+        assert!(ContentSpec::Any.allows_pcdata());
+        assert!(ContentSpec::Mixed(vec![]).allows_pcdata());
+        assert!(!ContentSpec::Empty.allows_pcdata());
+        assert!(!ContentSpec::Children(Cp::Name(ElemId(0))).allows_pcdata());
+    }
+}

@@ -1,0 +1,314 @@
+//! Built-in DTD corpus: the paper's running examples plus realistic
+//! document-centric schemas used by tests, examples and benchmarks.
+//!
+//! Realistic schemas are *modelled after* well-known public DTDs (TEI Lite,
+//! XHTML, DocBook, Jon Bosak's Shakespeare `play.dtd`) — trimmed to their
+//! structural cores, since only element type declarations matter for
+//! potential validity.
+
+use crate::analysis::DtdAnalysis;
+use crate::ast::Dtd;
+use crate::classify::DtdClass;
+
+/// The paper's Figure 1 DTD, verbatim (root `r`).
+pub const FIGURE1_SRC: &str = r##"
+<!ELEMENT r (a+)>
+<!ELEMENT a (b?, (c | f), d)>
+<!ELEMENT b ( d | f)>
+<!ELEMENT c #PCDATA>
+<!ELEMENT d (#PCDATA | e)*>
+<!ELEMENT e EMPTY>
+<!ELEMENT f (c, e)>
+"##;
+
+/// Example 5's PV-strong recursive DTD `T1` (root `a`).
+pub const T1_SRC: &str = r##"
+<!ELEMENT a (a | b*)>
+<!ELEMENT b EMPTY>
+"##;
+
+/// Example 6's PV-strong recursive DTD `T2` (root `a`).
+pub const T2_SRC: &str = r##"
+<!ELEMENT a ((a | b), b)>
+<!ELEMENT b EMPTY>
+"##;
+
+/// An XHTML-flavoured DTD (root `html`): free `<b>`/`<i>` nesting through
+/// mixed content — the introduction's example of benign (PV-weak)
+/// recursion.
+pub const XHTML_BASIC_SRC: &str = r##"
+<!ENTITY % inline "#PCDATA | a | em | strong | b | i | span | br | code">
+<!ENTITY % block "p | div | ul | ol | pre | blockquote | h1 | h2 | h3">
+<!ELEMENT html (head, body)>
+<!ELEMENT head (title)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT body (%block;)*>
+<!ELEMENT p (%inline;)*>
+<!ELEMENT div (%inline; | %block;)*>
+<!ELEMENT ul (li+)>
+<!ELEMENT ol (li+)>
+<!ELEMENT li (%inline; | %block;)*>
+<!ELEMENT pre (#PCDATA)>
+<!ELEMENT blockquote (%block;)*>
+<!ELEMENT h1 (%inline;)*>
+<!ELEMENT h2 (%inline;)*>
+<!ELEMENT h3 (%inline;)*>
+<!ELEMENT a (%inline;)*>
+<!ELEMENT em (%inline;)*>
+<!ELEMENT strong (%inline;)*>
+<!ELEMENT b (%inline;)*>
+<!ELEMENT i (%inline;)*>
+<!ELEMENT span (%inline;)*>
+<!ELEMENT code (#PCDATA)>
+<!ELEMENT br EMPTY>
+"##;
+
+/// A TEI-Lite-flavoured DTD (root `TEI`) for digital-library editorial
+/// work — the application domain motivating the paper.
+pub const TEI_LITE_SRC: &str = r##"
+<!ENTITY % phrase "#PCDATA | hi | name | date | ref | note | lb">
+<!ELEMENT TEI (teiHeader, text)>
+<!ELEMENT teiHeader (fileDesc)>
+<!ELEMENT fileDesc (titleStmt, publicationStmt?, sourceDesc?)>
+<!ELEMENT titleStmt (title+, author*)>
+<!ELEMENT title (%phrase;)*>
+<!ELEMENT author (%phrase;)*>
+<!ELEMENT publicationStmt (publisher?, pubPlace?, date?)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT pubPlace (#PCDATA)>
+<!ELEMENT sourceDesc (p+)>
+<!ELEMENT text (front?, body, back?)>
+<!ELEMENT front (div*)>
+<!ELEMENT back (div*)>
+<!ELEMENT body (div+ | p+)>
+<!ELEMENT div (head?, (p | lg | div)*)>
+<!ELEMENT head (%phrase;)*>
+<!ELEMENT p (%phrase;)*>
+<!ELEMENT lg (l+)>
+<!ELEMENT l (%phrase;)*>
+<!ELEMENT hi (%phrase;)*>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT ref (%phrase;)*>
+<!ELEMENT note (%phrase;)*>
+<!ELEMENT lb EMPTY>
+"##;
+
+/// A Shakespeare-`play.dtd`-flavoured DTD (root `PLAY`): deep sequence
+/// structure, no recursion — ideal for large-document scaling runs.
+pub const PLAY_SRC: &str = r##"
+<!ELEMENT PLAY (TITLE, FM?, PERSONAE, SCNDESCR?, PLAYSUBT?, INDUCT?, PROLOGUE?, ACT+, EPILOGUE?)>
+<!ELEMENT TITLE (#PCDATA)>
+<!ELEMENT FM (P+)>
+<!ELEMENT P (#PCDATA)>
+<!ELEMENT PERSONAE (TITLE, (PERSONA | PGROUP)+)>
+<!ELEMENT PGROUP (PERSONA+, GRPDESCR)>
+<!ELEMENT PERSONA (#PCDATA)>
+<!ELEMENT GRPDESCR (#PCDATA)>
+<!ELEMENT SCNDESCR (#PCDATA)>
+<!ELEMENT PLAYSUBT (#PCDATA)>
+<!ELEMENT INDUCT (TITLE, SUBTITLE*, (SCENE+ | (SPEECH | STAGEDIR | SUBHEAD)+))>
+<!ELEMENT PROLOGUE (TITLE, SUBTITLE*, (STAGEDIR | SPEECH)+)>
+<!ELEMENT EPILOGUE (TITLE, SUBTITLE*, (STAGEDIR | SPEECH)+)>
+<!ELEMENT ACT (TITLE, SUBTITLE*, PROLOGUE?, SCENE+, EPILOGUE?)>
+<!ELEMENT SCENE (TITLE, SUBTITLE*, (SPEECH | STAGEDIR | SUBHEAD)+)>
+<!ELEMENT SPEECH (SPEAKER+, (LINE | STAGEDIR | SUBHEAD)+)>
+<!ELEMENT SPEAKER (#PCDATA)>
+<!ELEMENT LINE (#PCDATA | STAGEDIR)*>
+<!ELEMENT STAGEDIR (#PCDATA)>
+<!ELEMENT SUBTITLE (#PCDATA)>
+<!ELEMENT SUBHEAD (#PCDATA)>
+"##;
+
+/// A DocBook-flavoured DTD (root `book`): sections recurse through a
+/// star-group, so the DTD is PV-weak recursive.
+pub const DOCBOOK_LIKE_SRC: &str = r##"
+<!ENTITY % inline "#PCDATA | emphasis | literal | xref | link">
+<!ELEMENT book (title, bookinfo?, (chapter | appendix)+)>
+<!ELEMENT bookinfo (author+, date?)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT chapter (title, (para | section | itemizedlist)+)>
+<!ELEMENT appendix (title, (para | section)+)>
+<!ELEMENT section (title, (para | section | itemizedlist)*)>
+<!ELEMENT title (%inline;)*>
+<!ELEMENT para (%inline;)*>
+<!ELEMENT itemizedlist (listitem+)>
+<!ELEMENT listitem (para+)>
+<!ELEMENT emphasis (%inline;)*>
+<!ELEMENT literal (#PCDATA)>
+<!ELEMENT xref (#PCDATA)>
+<!ELEMENT link (%inline;)*>
+"##;
+
+/// A dissertation-style DTD (root `thesis`) with **PV-strong** recursion:
+/// `part` forces either a nested `part` or a `unit` outside any star-group,
+/// giving a realistic schema in the hardest class.
+pub const DISSERTATION_SRC: &str = r##"
+<!ELEMENT thesis (title, part)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT part ((part | unit), summary?)>
+<!ELEMENT unit (title?, para+)>
+<!ELEMENT para (#PCDATA)>
+<!ELEMENT summary (#PCDATA)>
+"##;
+
+/// Identifier for a built-in DTD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BuiltinDtd {
+    /// Paper Figure 1 (root `r`), non-recursive.
+    Figure1,
+    /// Paper Example 5 `T1` (root `a`), PV-strong recursive.
+    T1,
+    /// Paper Example 6 `T2` (root `a`), PV-strong recursive.
+    T2,
+    /// XHTML-flavoured (root `html`), PV-weak recursive.
+    XhtmlBasic,
+    /// TEI-Lite-flavoured (root `TEI`), PV-weak recursive.
+    TeiLite,
+    /// Shakespeare-play-flavoured (root `PLAY`), non-recursive.
+    Play,
+    /// DocBook-flavoured (root `book`), PV-weak recursive.
+    DocbookLike,
+    /// Dissertation-style (root `thesis`), PV-strong recursive.
+    Dissertation,
+}
+
+impl BuiltinDtd {
+    /// All built-ins, for exhaustive test loops.
+    pub const ALL: [BuiltinDtd; 8] = [
+        BuiltinDtd::Figure1,
+        BuiltinDtd::T1,
+        BuiltinDtd::T2,
+        BuiltinDtd::XhtmlBasic,
+        BuiltinDtd::TeiLite,
+        BuiltinDtd::Play,
+        BuiltinDtd::DocbookLike,
+        BuiltinDtd::Dissertation,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BuiltinDtd::Figure1 => "figure1",
+            BuiltinDtd::T1 => "t1",
+            BuiltinDtd::T2 => "t2",
+            BuiltinDtd::XhtmlBasic => "xhtml-basic",
+            BuiltinDtd::TeiLite => "tei-lite",
+            BuiltinDtd::Play => "play",
+            BuiltinDtd::DocbookLike => "docbook-like",
+            BuiltinDtd::Dissertation => "dissertation",
+        }
+    }
+
+    /// The DTD source text.
+    pub fn source(self) -> &'static str {
+        match self {
+            BuiltinDtd::Figure1 => FIGURE1_SRC,
+            BuiltinDtd::T1 => T1_SRC,
+            BuiltinDtd::T2 => T2_SRC,
+            BuiltinDtd::XhtmlBasic => XHTML_BASIC_SRC,
+            BuiltinDtd::TeiLite => TEI_LITE_SRC,
+            BuiltinDtd::Play => PLAY_SRC,
+            BuiltinDtd::DocbookLike => DOCBOOK_LIKE_SRC,
+            BuiltinDtd::Dissertation => DISSERTATION_SRC,
+        }
+    }
+
+    /// The conventional root element.
+    pub fn root(self) -> &'static str {
+        match self {
+            BuiltinDtd::Figure1 => "r",
+            BuiltinDtd::T1 | BuiltinDtd::T2 => "a",
+            BuiltinDtd::XhtmlBasic => "html",
+            BuiltinDtd::TeiLite => "TEI",
+            BuiltinDtd::Play => "PLAY",
+            BuiltinDtd::DocbookLike => "book",
+            BuiltinDtd::Dissertation => "thesis",
+        }
+    }
+
+    /// The expected recursion class (asserted by tests).
+    pub fn expected_class(self) -> DtdClass {
+        match self {
+            BuiltinDtd::Figure1 | BuiltinDtd::Play => DtdClass::NonRecursive,
+            BuiltinDtd::XhtmlBasic | BuiltinDtd::TeiLite | BuiltinDtd::DocbookLike => {
+                DtdClass::PvWeakRecursive
+            }
+            BuiltinDtd::T1 | BuiltinDtd::T2 | BuiltinDtd::Dissertation => {
+                DtdClass::PvStrongRecursive
+            }
+        }
+    }
+
+    /// Parses the DTD. Panics only on programming errors in the embedded
+    /// sources (covered by tests).
+    pub fn dtd(self) -> Dtd {
+        Dtd::parse(self.source()).expect("built-in DTD parses")
+    }
+
+    /// Compiles the DTD rooted at [`BuiltinDtd::root`].
+    pub fn analysis(self) -> DtdAnalysis {
+        DtdAnalysis::new(self.dtd(), self.root()).expect("built-in DTD compiles")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builtins_parse_and_compile() {
+        for b in BuiltinDtd::ALL {
+            let a = b.analysis();
+            assert!(a.stats.m > 0, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn all_builtins_have_expected_class() {
+        for b in BuiltinDtd::ALL {
+            let a = b.analysis();
+            assert_eq!(a.rec.class, b.expected_class(), "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn all_builtins_fully_usable() {
+        for b in BuiltinDtd::ALL {
+            let a = b.analysis();
+            assert!(a.usability().unusable().is_empty(), "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn builtins_roundtrip_through_render() {
+        for b in BuiltinDtd::ALL {
+            let d = b.dtd();
+            let d2 = Dtd::parse(&d.to_dtd_string()).unwrap_or_else(|_| panic!("{}", b.name()));
+            assert_eq!(d.to_dtd_string(), d2.to_dtd_string(), "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn xhtml_inline_elements_weakly_recursive() {
+        let a = BuiltinDtd::XhtmlBasic.analysis();
+        let b = a.id("b").unwrap();
+        assert!(a.rec.is_recursive(b));
+        assert!(!a.rec.is_strong(b));
+    }
+
+    #[test]
+    fn dissertation_part_is_strong() {
+        let a = BuiltinDtd::Dissertation.analysis();
+        let part = a.id("part").unwrap();
+        assert!(a.rec.is_strong(part));
+    }
+
+    #[test]
+    fn play_is_large_enough_to_matter() {
+        let a = BuiltinDtd::Play.analysis();
+        assert!(a.stats.m >= 20);
+        assert!(a.stats.k >= 25);
+    }
+}

@@ -1,0 +1,361 @@
+//! PV-normalization of content models (Section 3.3 of the paper).
+//!
+//! Two language-preserving rewrites justify a drastically simpler model:
+//!
+//! * **Corollary 3.1** — because every nonterminal of the PV grammar `G'` is
+//!   nullable (Theorem 3), all `?` operators can be dropped (`e? → e`) and
+//!   every `+` weakened to `*` without changing `L(G')`.
+//! * **Proposition 1** — every *star-group* (Definition 4: a maximal starred
+//!   subexpression) matches input depending only on its **element set**, so
+//!   it can be replaced by the flat `(a1, …, an)*`.
+//!
+//! After both rewrites a content model is a `?`/`+`/`*`-free
+//! sequence/choice expression whose atoms are *simple elements*, *PCDATA*,
+//! or *star-group sets* — it denotes a **finite** language of atom strings,
+//! which is what makes the per-element DAG of `pv-core` possible.
+
+use crate::ast::{ContentSpec, Cp, Dtd, ElemId};
+use std::collections::BTreeSet;
+
+/// The element set of a star-group (plus whether `#PCDATA` belongs to it).
+///
+/// Per Proposition 1 this set fully determines the group's matching
+/// behaviour; elements are kept sorted and deduplicated so groups compare
+/// structurally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupSet {
+    /// Sorted, deduplicated element members.
+    pub elems: Vec<ElemId>,
+    /// `true` if character data is a member (mixed content).
+    pub pcdata: bool,
+}
+
+impl GroupSet {
+    /// Builds a group from an iterator of members.
+    pub fn new(elems: impl IntoIterator<Item = ElemId>, pcdata: bool) -> Self {
+        let set: BTreeSet<ElemId> = elems.into_iter().collect();
+        GroupSet { elems: set.into_iter().collect(), pcdata }
+    }
+
+    /// `true` if `id` is a direct member.
+    #[inline]
+    pub fn contains(&self, id: ElemId) -> bool {
+        self.elems.binary_search(&id).is_ok()
+    }
+}
+
+/// An atom of a normalized content model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Atom {
+    /// An element occurring outside every star-group (a *simple element
+    /// node* in the paper's DAG terminology).
+    Simple(ElemId),
+    /// `(#PCDATA)` content: at most one σ.
+    Pcdata,
+    /// A flattened star-group: any interleaving of members (and anything
+    /// reachable from them), including nothing.
+    Group(GroupSet),
+}
+
+/// A normalized content particle: sequences and choices over [`Atom`]s,
+/// with **no** occurrence operators left.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NormCp {
+    /// A single atom.
+    Atom(Atom),
+    /// Sequence; an empty sequence is `ε` (the normal form of `EMPTY`).
+    Seq(Vec<NormCp>),
+    /// Choice between alternatives (always ≥ 2 after simplification).
+    Choice(Vec<NormCp>),
+}
+
+impl NormCp {
+    /// The empty model `ε`.
+    pub fn epsilon() -> Self {
+        NormCp::Seq(Vec::new())
+    }
+
+    /// Count of atoms in the expression (a size measure used by stats).
+    pub fn atom_count(&self) -> usize {
+        match self {
+            NormCp::Atom(_) => 1,
+            NormCp::Seq(cs) | NormCp::Choice(cs) => cs.iter().map(NormCp::atom_count).sum(),
+        }
+    }
+
+    /// Collects every atom (for DAG construction diagnostics).
+    pub fn atoms<'a>(&'a self, out: &mut Vec<&'a Atom>) {
+        match self {
+            NormCp::Atom(a) => out.push(a),
+            NormCp::Seq(cs) | NormCp::Choice(cs) => {
+                for c in cs {
+                    c.atoms(out);
+                }
+            }
+        }
+    }
+}
+
+/// The normalized model of one element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NormModel {
+    /// `ANY` content: the ECPV problem "presents no practical interest"
+    /// (paper Section 4) — every children sequence over declared elements
+    /// is potentially valid. Kept as a distinguished marker.
+    Any,
+    /// A normalized expression.
+    Expr(NormCp),
+}
+
+/// A DTD with every content model PV-normalized. Indexed by [`ElemId`]
+/// parallel to the source [`Dtd`].
+#[derive(Debug, Clone)]
+pub struct NormalizedDtd {
+    /// Normalized model per element.
+    pub models: Vec<NormModel>,
+}
+
+impl NormalizedDtd {
+    /// The normalized model for `id`.
+    #[inline]
+    pub fn model(&self, id: ElemId) -> &NormModel {
+        &self.models[id.index()]
+    }
+}
+
+/// Normalizes every content model of `dtd` (Corollary 3.1 + Proposition 1).
+pub fn normalize(dtd: &Dtd) -> NormalizedDtd {
+    let models = dtd.elements.iter().map(|e| norm_spec(&e.content)).collect();
+    NormalizedDtd { models }
+}
+
+fn norm_spec(spec: &ContentSpec) -> NormModel {
+    match spec {
+        ContentSpec::Empty => NormModel::Expr(NormCp::epsilon()),
+        ContentSpec::Any => NormModel::Any,
+        ContentSpec::PcdataOnly => NormModel::Expr(NormCp::Atom(Atom::Pcdata)),
+        ContentSpec::Mixed(ids) => NormModel::Expr(NormCp::Atom(Atom::Group(GroupSet::new(
+            ids.iter().copied(),
+            true,
+        )))),
+        ContentSpec::Children(cp) => NormModel::Expr(simplify(norm_cp(cp))),
+    }
+}
+
+/// Rewrites one particle. `?` is dropped and `+`/`*` become star-groups over
+/// their element sets; the recursion never descends *into* a star (maximal
+/// groups only, Definition 4).
+fn norm_cp(cp: &Cp) -> NormCp {
+    match cp {
+        Cp::Name(id) => NormCp::Atom(Atom::Simple(*id)),
+        Cp::Seq(cs) => NormCp::Seq(cs.iter().map(norm_cp).collect()),
+        Cp::Choice(cs) => NormCp::Choice(cs.iter().map(norm_cp).collect()),
+        // Corollary 3.1: e? ≡ e under G'.
+        Cp::Opt(c) => norm_cp(c),
+        // Corollary 3.1 (+→*) then Proposition 1 (flatten to element set).
+        Cp::Star(c) | Cp::Plus(c) => {
+            let mut elems = Vec::new();
+            c.occurrences(&mut elems);
+            NormCp::Atom(Atom::Group(GroupSet::new(elems, false)))
+        }
+    }
+}
+
+/// Flattens nested sequences/choices and unwraps singletons.
+fn simplify(cp: NormCp) -> NormCp {
+    match cp {
+        NormCp::Atom(a) => NormCp::Atom(a),
+        NormCp::Seq(cs) => {
+            let mut out = Vec::with_capacity(cs.len());
+            for c in cs {
+                match simplify(c) {
+                    NormCp::Seq(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            if out.len() == 1 {
+                out.pop().unwrap()
+            } else {
+                NormCp::Seq(out)
+            }
+        }
+        NormCp::Choice(cs) => {
+            let mut out = Vec::with_capacity(cs.len());
+            for c in cs {
+                match simplify(c) {
+                    NormCp::Choice(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            if out.len() == 1 {
+                out.pop().unwrap()
+            } else {
+                NormCp::Choice(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Dtd;
+
+    fn norm_of(src: &str, elem: &str) -> NormModel {
+        let dtd = Dtd::parse(src).unwrap();
+        normalize(&dtd).model(dtd.id(elem).unwrap()).clone()
+    }
+
+    fn id(dtd_src: &str, name: &str) -> ElemId {
+        Dtd::parse(dtd_src).unwrap().id(name).unwrap()
+    }
+
+    const DECLS: &str = "<!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY>
+                         <!ELEMENT d EMPTY><!ELEMENT e EMPTY>";
+
+    #[test]
+    fn empty_normalizes_to_epsilon() {
+        assert_eq!(norm_of("<!ELEMENT x EMPTY>", "x"), NormModel::Expr(NormCp::epsilon()));
+    }
+
+    #[test]
+    fn any_stays_any() {
+        assert_eq!(norm_of("<!ELEMENT x ANY>", "x"), NormModel::Any);
+    }
+
+    #[test]
+    fn pcdata_only_is_pcdata_atom() {
+        assert_eq!(
+            norm_of("<!ELEMENT x (#PCDATA)>", "x"),
+            NormModel::Expr(NormCp::Atom(Atom::Pcdata))
+        );
+    }
+
+    #[test]
+    fn mixed_is_pcdata_group() {
+        let src = "<!ELEMENT x (#PCDATA | a | b)*><!ELEMENT a EMPTY><!ELEMENT b EMPTY>";
+        let m = norm_of(src, "x");
+        let NormModel::Expr(NormCp::Atom(Atom::Group(g))) = &m else {
+            panic!("expected group, got {m:?}")
+        };
+        assert!(g.pcdata);
+        assert_eq!(g.elems.len(), 2);
+    }
+
+    #[test]
+    fn optional_dropped_plus_becomes_group() {
+        // Figure 1: a → (b?, (c|f), d). After Cor 3.1: (b, (c|f), d).
+        let src = "<!ELEMENT a (b?, (c | f), d)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>
+                   <!ELEMENT f EMPTY><!ELEMENT d EMPTY>";
+        let dtd = Dtd::parse(src).unwrap();
+        let m = normalize(&dtd).model(dtd.id("a").unwrap()).clone();
+        let b = dtd.id("b").unwrap();
+        let c = dtd.id("c").unwrap();
+        let f = dtd.id("f").unwrap();
+        let d = dtd.id("d").unwrap();
+        assert_eq!(
+            m,
+            NormModel::Expr(NormCp::Seq(vec![
+                NormCp::Atom(Atom::Simple(b)),
+                NormCp::Choice(vec![
+                    NormCp::Atom(Atom::Simple(c)),
+                    NormCp::Atom(Atom::Simple(f)),
+                ]),
+                NormCp::Atom(Atom::Simple(d)),
+            ]))
+        );
+    }
+
+    #[test]
+    fn plus_flattens_like_star() {
+        let src = "<!ELEMENT r (a+)><!ELEMENT a EMPTY>";
+        let a = id(src, "a");
+        assert_eq!(
+            norm_of(src, "r"),
+            NormModel::Expr(NormCp::Atom(Atom::Group(GroupSet::new([a], false))))
+        );
+    }
+
+    #[test]
+    fn paper_stargroup_example() {
+        // r_x = (a, (b* | (c, d*, e)*)): star-groups are b* and (c,d*,e)*;
+        // d* is swallowed by the outer group (Definition 4 (ii)).
+        let src = format!("<!ELEMENT x (a, (b* | (c, d*, e)*))>{DECLS}");
+        let dtd = Dtd::parse(&src).unwrap();
+        let m = normalize(&dtd).model(dtd.id("x").unwrap()).clone();
+        let gid = |n: &str| dtd.id(n).unwrap();
+        assert_eq!(
+            m,
+            NormModel::Expr(NormCp::Seq(vec![
+                NormCp::Atom(Atom::Simple(gid("a"))),
+                NormCp::Choice(vec![
+                    NormCp::Atom(Atom::Group(GroupSet::new([gid("b")], false))),
+                    NormCp::Atom(Atom::Group(GroupSet::new(
+                        [gid("c"), gid("d"), gid("e")],
+                        false
+                    ))),
+                ]),
+            ]))
+        );
+    }
+
+    #[test]
+    fn nested_opt_inside_star_is_flattened() {
+        let src = format!("<!ELEMENT x ((a?, b)*)>{DECLS}");
+        let dtd = Dtd::parse(&src).unwrap();
+        let m = normalize(&dtd).model(dtd.id("x").unwrap()).clone();
+        let NormModel::Expr(NormCp::Atom(Atom::Group(g))) = &m else { panic!("{m:?}") };
+        assert_eq!(g.elems.len(), 2);
+        assert!(!g.pcdata);
+    }
+
+    #[test]
+    fn duplicate_members_dedup() {
+        let src = format!("<!ELEMENT x ((a | (a, b))*)>{DECLS}");
+        let dtd = Dtd::parse(&src).unwrap();
+        let NormModel::Expr(NormCp::Atom(Atom::Group(g))) =
+            normalize(&dtd).model(dtd.id("x").unwrap()).clone()
+        else {
+            panic!()
+        };
+        assert_eq!(g.elems.len(), 2);
+    }
+
+    #[test]
+    fn singleton_groups_unwrap() {
+        let src = format!("<!ELEMENT x ((a))>{DECLS}");
+        let dtd = Dtd::parse(&src).unwrap();
+        let m = normalize(&dtd).model(dtd.id("x").unwrap()).clone();
+        assert!(matches!(m, NormModel::Expr(NormCp::Atom(Atom::Simple(_)))));
+    }
+
+    #[test]
+    fn deep_nesting_flattens() {
+        let src = format!("<!ELEMENT x (a, (b, (c, d)))>{DECLS}");
+        let dtd = Dtd::parse(&src).unwrap();
+        let NormModel::Expr(NormCp::Seq(items)) =
+            normalize(&dtd).model(dtd.id("x").unwrap()).clone()
+        else {
+            panic!()
+        };
+        assert_eq!(items.len(), 4);
+    }
+
+    #[test]
+    fn atom_count_counts_leaves() {
+        let src = format!("<!ELEMENT x (a, (b | c*), d?)>{DECLS}");
+        let dtd = Dtd::parse(&src).unwrap();
+        let norm = normalize(&dtd);
+        let NormModel::Expr(e) = norm.model(dtd.id("x").unwrap()) else { panic!() };
+        assert_eq!(e.atom_count(), 4);
+    }
+
+    #[test]
+    fn groupset_contains() {
+        let g = GroupSet::new([ElemId(3), ElemId(1)], false);
+        assert!(g.contains(ElemId(1)));
+        assert!(g.contains(ElemId(3)));
+        assert!(!g.contains(ElemId(2)));
+        assert_eq!(g.elems, vec![ElemId(1), ElemId(3)]);
+    }
+}

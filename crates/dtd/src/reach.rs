@@ -1,0 +1,247 @@
+//! The reachability graph `R_T` and its lookup table `LT` (Definition 5).
+//!
+//! `R_T` has one vertex per element type plus a distinguished `#PCDATA`
+//! vertex, and an edge `(t1, t2)` whenever `t2` appears in `r_{t1}`. The
+//! transitive closure is precomputed into a dense bitset so that the
+//! recognizer's `lookup` (paper Figure 5, lines 16/23) is a single bit test
+//! — this is what makes character-data insertion checks O(1)
+//! (Proposition 3).
+
+use crate::ast::{ContentSpec, Dtd, ElemId};
+
+/// Precomputed reachability over `R_T`.
+///
+/// Indices `0..m` are element types; index `m` is the `#PCDATA` vertex.
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    m: usize,
+    words_per_row: usize,
+    /// Row-major closure bitsets: bit `j` of row `i` = `i ⇝ j` (path of
+    /// length ≥ 1).
+    closure: Vec<u64>,
+}
+
+impl Reachability {
+    /// Builds the reachability closure for `dtd`.
+    pub fn new(dtd: &Dtd) -> Self {
+        let m = dtd.len();
+        let n = m + 1; // + PCDATA vertex
+        let words_per_row = n.div_ceil(64);
+
+        // Direct edges as bitset rows.
+        let mut direct = vec![0u64; n * words_per_row];
+        let set = |rows: &mut Vec<u64>, i: usize, j: usize| {
+            rows[i * words_per_row + j / 64] |= 1 << (j % 64);
+        };
+        for (id, decl) in dtd.iter() {
+            let i = id.index();
+            match &decl.content {
+                ContentSpec::Empty => {}
+                ContentSpec::Any => {
+                    // ANY: every declared element and PCDATA may occur.
+                    for j in 0..n {
+                        set(&mut direct, i, j);
+                    }
+                }
+                ContentSpec::PcdataOnly => set(&mut direct, i, m),
+                ContentSpec::Mixed(ids) => {
+                    set(&mut direct, i, m);
+                    for t in ids {
+                        set(&mut direct, i, t.index());
+                    }
+                }
+                ContentSpec::Children(cp) => {
+                    let mut occ = Vec::new();
+                    cp.occurrences(&mut occ);
+                    for t in occ {
+                        set(&mut direct, i, t.index());
+                    }
+                }
+            }
+        }
+
+        // Transitive closure: repeated row-OR until fixpoint. For vertex i,
+        // closure(i) = direct(i) ∪ ⋃_{j ∈ direct(i)} closure(j). Iterate to
+        // a fixpoint; O(n²·n/64) worst case, trivial for DTD-sized graphs.
+        let mut closure = direct.clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                // OR in the rows of all current successors of i.
+                let row_start = i * words_per_row;
+                let snapshot: Vec<u64> =
+                    closure[row_start..row_start + words_per_row].to_vec();
+                let mut acc = snapshot.clone();
+                for (w, &word) in snapshot.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let j = w * 64 + b;
+                        let j_start = j * words_per_row;
+                        for k in 0..words_per_row {
+                            acc[k] |= closure[j_start + k];
+                        }
+                    }
+                }
+                for (k, v) in acc.iter().enumerate() {
+                    if closure[row_start + k] != *v {
+                        closure[row_start + k] = *v;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Reachability { m, words_per_row, closure }
+    }
+
+    #[inline]
+    fn bit(&self, i: usize, j: usize) -> bool {
+        self.closure[i * self.words_per_row + j / 64] >> (j % 64) & 1 == 1
+    }
+
+    /// `LT(container, symbol)`: can an element tagged `symbol` occur
+    /// (arbitrarily deep) inside the content of `container`? Path of length
+    /// ≥ 1 in `R_T`, so `reaches(x, x)` is `true` only for recursive `x`.
+    #[inline]
+    pub fn reaches(&self, container: ElemId, symbol: ElemId) -> bool {
+        self.bit(container.index(), symbol.index())
+    }
+
+    /// Can character data occur (arbitrarily deep) inside `container`?
+    /// This single bit decides character-data insertion (Proposition 3).
+    #[inline]
+    pub fn reaches_pcdata(&self, container: ElemId) -> bool {
+        self.bit(container.index(), self.m)
+    }
+
+    /// `true` if `x` lies on a cycle of `R_T` — i.e. `x` is a *recursive
+    /// element* (Definition 6, via Proposition 2's correspondence between
+    /// derivations `X ⇒* X` and paths in `R_T`).
+    #[inline]
+    pub fn self_reachable(&self, x: ElemId) -> bool {
+        self.reaches(x, x)
+    }
+
+    /// Number of element vertices.
+    #[inline]
+    pub fn element_count(&self) -> usize {
+        self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Dtd;
+
+    const FIGURE1: &str = "
+        <!ELEMENT r (a+)>
+        <!ELEMENT a (b?, (c | f), d)>
+        <!ELEMENT b ( d | f)>
+        <!ELEMENT c #PCDATA>
+        <!ELEMENT d (#PCDATA | e)*>
+        <!ELEMENT e EMPTY>
+        <!ELEMENT f (c, e)>
+    ";
+
+    fn fig1() -> (Dtd, Reachability) {
+        let d = Dtd::parse(FIGURE1).unwrap();
+        let r = Reachability::new(&d);
+        (d, r)
+    }
+
+    #[test]
+    fn direct_edges_reach() {
+        let (d, r) = fig1();
+        let id = |n: &str| d.id(n).unwrap();
+        assert!(r.reaches(id("r"), id("a")));
+        assert!(r.reaches(id("a"), id("b")));
+        assert!(r.reaches(id("f"), id("c")));
+    }
+
+    #[test]
+    fn transitive_edges_reach() {
+        let (d, r) = fig1();
+        let id = |n: &str| d.id(n).unwrap();
+        assert!(r.reaches(id("r"), id("e"))); // r→a→d→e
+        assert!(r.reaches(id("b"), id("e"))); // b→d→e and b→f→e
+        assert!(r.reaches(id("a"), id("c"))); // direct and via f
+    }
+
+    #[test]
+    fn non_edges_do_not_reach() {
+        let (d, r) = fig1();
+        let id = |n: &str| d.id(n).unwrap();
+        assert!(!r.reaches(id("e"), id("a"))); // e is EMPTY
+        assert!(!r.reaches(id("c"), id("e"))); // c is PCDATA-only
+        assert!(!r.reaches(id("d"), id("c"))); // d contains only e/PCDATA
+        assert!(!r.reaches(id("a"), id("r"))); // nothing reaches back to r
+    }
+
+    #[test]
+    fn pcdata_reachability() {
+        let (d, r) = fig1();
+        let id = |n: &str| d.id(n).unwrap();
+        assert!(r.reaches_pcdata(id("c")));
+        assert!(r.reaches_pcdata(id("d")));
+        assert!(r.reaches_pcdata(id("a"))); // via c or d
+        assert!(r.reaches_pcdata(id("r")));
+        assert!(!r.reaches_pcdata(id("e"))); // EMPTY
+    }
+
+    #[test]
+    fn figure1_is_acyclic() {
+        let (d, r) = fig1();
+        for id in d.ids() {
+            assert!(!r.self_reachable(id), "{} unexpectedly recursive", d.name(id));
+        }
+    }
+
+    #[test]
+    fn recursive_elements_self_reach() {
+        let d = Dtd::parse("<!ELEMENT a (a | b*)><!ELEMENT b EMPTY>").unwrap();
+        let r = Reachability::new(&d);
+        assert!(r.self_reachable(d.id("a").unwrap()));
+        assert!(!r.self_reachable(d.id("b").unwrap()));
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let d = Dtd::parse("<!ELEMENT a (b?)><!ELEMENT b (a?)>").unwrap();
+        let r = Reachability::new(&d);
+        assert!(r.self_reachable(d.id("a").unwrap()));
+        assert!(r.self_reachable(d.id("b").unwrap()));
+    }
+
+    #[test]
+    fn any_reaches_everything() {
+        let d = Dtd::parse("<!ELEMENT a ANY><!ELEMENT b EMPTY>").unwrap();
+        let r = Reachability::new(&d);
+        let a = d.id("a").unwrap();
+        assert!(r.reaches(a, a));
+        assert!(r.reaches(a, d.id("b").unwrap()));
+        assert!(r.reaches_pcdata(a));
+    }
+
+    #[test]
+    fn large_dtd_closure_is_correct() {
+        // Chain of 200 elements: e0 → e1 → … → e199.
+        let mut src = String::new();
+        for i in 0..200 {
+            if i + 1 < 200 {
+                src.push_str(&format!("<!ELEMENT e{i} (e{})>", i + 1));
+            } else {
+                src.push_str(&format!("<!ELEMENT e{i} EMPTY>"));
+            }
+        }
+        let d = Dtd::parse(&src).unwrap();
+        let r = Reachability::new(&d);
+        let first = d.id("e0").unwrap();
+        let last = d.id("e199").unwrap();
+        assert!(r.reaches(first, last));
+        assert!(!r.reaches(last, first));
+        assert!(!r.self_reachable(first));
+    }
+}

@@ -1,0 +1,106 @@
+//! DTD size measures used in the paper's complexity statement (Theorem 4).
+
+use crate::ast::{ContentSpec, Dtd};
+
+/// Size statistics for a DTD.
+///
+/// The paper measures a DTD by `m = |T|` (element-type count) and
+/// `k` = total number of element occurrences over all right-hand sides
+/// (`k ≥ m`, and reading the DTD takes `O(k)`); Theorem 4's bound is
+/// `O(k·D·n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DtdStats {
+    /// `m`: number of declared element types.
+    pub m: usize,
+    /// `k`: total element occurrences in all content models.
+    pub k: usize,
+    /// Largest single content model, in element occurrences.
+    pub max_model: usize,
+    /// Number of `EMPTY` declarations.
+    pub empty: usize,
+    /// Number of `ANY` declarations.
+    pub any: usize,
+    /// Number of `(#PCDATA)` declarations.
+    pub pcdata_only: usize,
+    /// Number of mixed-content declarations.
+    pub mixed: usize,
+    /// Number of `children` (regular-expression) declarations.
+    pub children: usize,
+}
+
+impl DtdStats {
+    /// Computes statistics for `dtd`.
+    pub fn new(dtd: &Dtd) -> Self {
+        let mut s = DtdStats {
+            m: dtd.len(),
+            k: 0,
+            max_model: 0,
+            empty: 0,
+            any: 0,
+            pcdata_only: 0,
+            mixed: 0,
+            children: 0,
+        };
+        for (_, decl) in dtd.iter() {
+            let occ = decl.content.occurrences().len();
+            s.k += occ;
+            s.max_model = s.max_model.max(occ);
+            match decl.content {
+                ContentSpec::Empty => s.empty += 1,
+                ContentSpec::Any => s.any += 1,
+                ContentSpec::PcdataOnly => s.pcdata_only += 1,
+                ContentSpec::Mixed(_) => s.mixed += 1,
+                ContentSpec::Children(_) => s.children += 1,
+            }
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for DtdStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "m={} k={} max_model={} (EMPTY:{} ANY:{} PCDATA:{} mixed:{} children:{})",
+            self.m, self.k, self.max_model, self.empty, self.any, self.pcdata_only, self.mixed,
+            self.children
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Dtd;
+
+    #[test]
+    fn figure1_stats() {
+        let src = "
+            <!ELEMENT r (a+)><!ELEMENT a (b?, (c | f), d)><!ELEMENT b (d | f)>
+            <!ELEMENT c #PCDATA><!ELEMENT d (#PCDATA | e)*>
+            <!ELEMENT e EMPTY><!ELEMENT f (c, e)>";
+        let s = DtdStats::new(&Dtd::parse(src).unwrap());
+        assert_eq!(s.m, 7);
+        // r:1 + a:4 + b:2 + c:0 + d:1(mixed e) + e:0 + f:2 = 10
+        assert_eq!(s.k, 10);
+        assert_eq!(s.max_model, 4);
+        assert_eq!(s.empty, 1);
+        assert_eq!(s.pcdata_only, 1);
+        assert_eq!(s.mixed, 1);
+        assert_eq!(s.children, 4);
+        assert!(s.k >= s.m - s.empty - s.any - s.pcdata_only);
+    }
+
+    #[test]
+    fn empty_dtd_stats() {
+        let s = DtdStats::new(&Dtd::parse("").unwrap());
+        assert_eq!(s.m, 0);
+        assert_eq!(s.k, 0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = DtdStats::new(&Dtd::parse("<!ELEMENT a EMPTY>").unwrap());
+        assert!(s.to_string().contains("m=1"));
+    }
+}

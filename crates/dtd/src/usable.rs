@@ -1,0 +1,259 @@
+//! Usability analysis (Section 3.3).
+//!
+//! The paper assumes every element of the DTD is *usable*: it occurs in at
+//! least one derivation of a valid document (`∃ z ∈ L(G)` whose derivation
+//! contains `X`). This is Theorem 3's precondition — unusable elements can
+//! break nullability and hence the greedy recognizer's skip rule.
+//!
+//! An element is usable iff it is **productive** (derives some terminal
+//! string, possibly `ε`) and **viably reachable** from the root (there is a
+//! chain of occurrences from the root's model in which every forced sibling
+//! is productive — the classic useless-symbol elimination, adapted to
+//! regular-expression right-hand sides).
+
+use crate::ast::{ContentSpec, Cp, Dtd, ElemId};
+use crate::error::{DtdError, DtdErrorKind};
+use crate::Result;
+
+/// The result of usability analysis.
+#[derive(Debug, Clone)]
+pub struct Usability {
+    /// `productive[i]`: element `i` derives some terminal string.
+    pub productive: Vec<bool>,
+    /// `usable[i]`: element `i` is productive and viably reachable from the
+    /// analysis root.
+    pub usable: Vec<bool>,
+}
+
+impl Usability {
+    /// Runs the analysis for `dtd` with root `root`.
+    pub fn new(dtd: &Dtd, root: ElemId) -> Self {
+        let m = dtd.len();
+
+        // --- Productivity fixpoint -------------------------------------
+        let mut productive = vec![false; m];
+        loop {
+            let mut changed = false;
+            for (i, decl) in dtd.elements.iter().enumerate() {
+                if productive[i] {
+                    continue;
+                }
+                if spec_productive(&decl.content, &productive) {
+                    productive[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // --- Viable reachability from the root --------------------------
+        let mut usable = vec![false; m];
+        if productive[root.index()] {
+            let mut queue = vec![root];
+            usable[root.index()] = true;
+            while let Some(x) = queue.pop() {
+                let mut viable = Vec::new();
+                viable_in_spec(&dtd.elements[x.index()].content, &productive, &mut viable, dtd);
+                for y in viable {
+                    let yi = y.index();
+                    if productive[yi] && !usable[yi] {
+                        usable[yi] = true;
+                        queue.push(y);
+                    }
+                }
+            }
+        }
+        Usability { productive, usable }
+    }
+
+    /// Ids of unusable elements.
+    pub fn unusable(&self) -> Vec<ElemId> {
+        self.usable
+            .iter()
+            .enumerate()
+            .filter(|(_, &u)| !u)
+            .map(|(i, _)| ElemId(i as u32))
+            .collect()
+    }
+
+    /// Errors with the first unusable element's name, if any.
+    pub fn require_all_usable(&self, dtd: &Dtd) -> Result<()> {
+        match self.unusable().first() {
+            None => Ok(()),
+            Some(&id) => Err(DtdError::new(
+                DtdErrorKind::UnusableElement(dtd.name(id).to_owned()),
+                0,
+            )),
+        }
+    }
+}
+
+fn spec_productive(spec: &ContentSpec, productive: &[bool]) -> bool {
+    match spec {
+        // ε, mixed and ANY content can always complete (possibly empty).
+        ContentSpec::Empty
+        | ContentSpec::Any
+        | ContentSpec::PcdataOnly
+        | ContentSpec::Mixed(_) => true,
+        ContentSpec::Children(cp) => cp_productive(cp, productive),
+    }
+}
+
+fn cp_productive(cp: &Cp, productive: &[bool]) -> bool {
+    match cp {
+        Cp::Name(id) => productive[id.index()],
+        Cp::Seq(cs) => cs.iter().all(|c| cp_productive(c, productive)),
+        Cp::Choice(cs) => cs.iter().any(|c| cp_productive(c, productive)),
+        // e? and e* can always derive ε.
+        Cp::Opt(_) | Cp::Star(_) => true,
+        Cp::Plus(c) => cp_productive(c, productive),
+    }
+}
+
+/// Collects element occurrences of `spec` that are *viable*: selectable in
+/// some alternative whose forced siblings are all productive.
+fn viable_in_spec(spec: &ContentSpec, productive: &[bool], out: &mut Vec<ElemId>, dtd: &Dtd) {
+    match spec {
+        ContentSpec::Empty | ContentSpec::PcdataOnly => {}
+        // In ANY content every declared element is viable by definition.
+        ContentSpec::Any => out.extend(dtd.ids()),
+        // Mixed members sit in a star-group: zero-or-more, so each member is
+        // individually selectable with no forced siblings.
+        ContentSpec::Mixed(ids) => out.extend_from_slice(ids),
+        ContentSpec::Children(cp) => {
+            if cp_productive(cp, productive) {
+                viable_in_cp(cp, productive, out);
+            }
+        }
+    }
+}
+
+/// Precondition: the *context* already allows this subexpression to be part
+/// of a completing derivation; collect occurrences viable within it.
+fn viable_in_cp(cp: &Cp, productive: &[bool], out: &mut Vec<ElemId>) {
+    match cp {
+        Cp::Name(id) => out.push(*id),
+        Cp::Seq(cs) => {
+            // All parts are forced; an occurrence in part i is viable iff
+            // every sibling part is productive (checked by caller for the
+            // whole Seq) — recurse into each part.
+            if cs.iter().all(|c| cp_productive(c, productive)) {
+                for c in cs {
+                    viable_in_cp(c, productive, out);
+                }
+            }
+        }
+        Cp::Choice(cs) => {
+            // Each branch is independent: recurse into productive branches.
+            for c in cs {
+                if cp_productive(c, productive) {
+                    viable_in_cp(c, productive, out);
+                }
+            }
+        }
+        // Optional/starred content may be taken or skipped independently;
+        // inside it, occurrences are viable iff the inner expression can
+        // complete once selected.
+        Cp::Opt(c) | Cp::Star(c) | Cp::Plus(c) => {
+            if cp_productive(c, productive) {
+                viable_in_cp(c, productive, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Dtd;
+
+    fn analyze(src: &str, root: &str) -> (Dtd, Usability) {
+        let dtd = Dtd::parse(src).unwrap();
+        let r = dtd.id(root).unwrap();
+        let u = Usability::new(&dtd, r);
+        (dtd, u)
+    }
+
+    #[test]
+    fn figure1_all_usable() {
+        let src = "
+            <!ELEMENT r (a+)><!ELEMENT a (b?, (c | f), d)><!ELEMENT b (d | f)>
+            <!ELEMENT c #PCDATA><!ELEMENT d (#PCDATA | e)*>
+            <!ELEMENT e EMPTY><!ELEMENT f (c, e)>";
+        let (dtd, u) = analyze(src, "r");
+        assert!(u.unusable().is_empty());
+        assert!(u.require_all_usable(&dtd).is_ok());
+    }
+
+    #[test]
+    fn self_requiring_element_is_unproductive() {
+        // a must contain an a: no finite valid document exists.
+        let (dtd, u) = analyze("<!ELEMENT a (a)>", "a");
+        assert!(!u.productive[0]);
+        assert!(!u.usable[0]);
+        assert!(u.require_all_usable(&dtd).is_err());
+    }
+
+    #[test]
+    fn recursive_with_escape_is_productive() {
+        // a → (a | b): productive via b.
+        let (_, u) = analyze("<!ELEMENT a (a | b)><!ELEMENT b EMPTY>", "a");
+        assert!(u.productive[0]);
+        assert!(u.unusable().is_empty());
+    }
+
+    #[test]
+    fn unreachable_element_is_unusable() {
+        let (dtd, u) = analyze("<!ELEMENT r (a)><!ELEMENT a EMPTY><!ELEMENT z EMPTY>", "r");
+        let z = dtd.id("z").unwrap();
+        assert!(u.productive[z.index()]);
+        assert!(!u.usable[z.index()]);
+        assert_eq!(u.unusable(), vec![z]);
+    }
+
+    #[test]
+    fn element_reached_only_with_unproductive_sibling_is_unusable() {
+        // r → ((x, q) | z): q unproductive ⇒ x not viably reachable.
+        let src = "<!ELEMENT r ((x, q) | z)><!ELEMENT x EMPTY><!ELEMENT q (q)><!ELEMENT z EMPTY>";
+        let (dtd, u) = analyze(src, "r");
+        let x = dtd.id("x").unwrap();
+        let q = dtd.id("q").unwrap();
+        let z = dtd.id("z").unwrap();
+        assert!(u.productive[x.index()]);
+        assert!(!u.usable[x.index()], "x is only reachable next to unproductive q");
+        assert!(!u.usable[q.index()]);
+        assert!(u.usable[z.index()]);
+    }
+
+    #[test]
+    fn element_in_star_next_to_unproductive_is_still_ok_if_star_skippable() {
+        // r → (x, q?)… wait q? is skippable so r is productive; q itself
+        // unproductive and therefore unusable even though reachable.
+        let src = "<!ELEMENT r (x, q?)><!ELEMENT x EMPTY><!ELEMENT q (q)>";
+        let (dtd, u) = analyze(src, "r");
+        assert!(u.usable[dtd.id("x").unwrap().index()]);
+        assert!(!u.usable[dtd.id("q").unwrap().index()]);
+    }
+
+    #[test]
+    fn unproductive_root_makes_everything_unusable() {
+        let (_, u) = analyze("<!ELEMENT r (r)>", "r");
+        assert!(u.unusable().len() == 1);
+    }
+
+    #[test]
+    fn any_makes_all_elements_reachable() {
+        let src = "<!ELEMENT r ANY><!ELEMENT a EMPTY><!ELEMENT b (a)>";
+        let (_, u) = analyze(src, "r");
+        assert!(u.unusable().is_empty());
+    }
+
+    #[test]
+    fn mixed_members_are_viable() {
+        let src = "<!ELEMENT r (#PCDATA | a)*><!ELEMENT a EMPTY>";
+        let (_, u) = analyze(src, "r");
+        assert!(u.unusable().is_empty());
+    }
+}

@@ -1,0 +1,515 @@
+//! The editing session: a document plus the incremental PV guards.
+
+use pv_core::checker::{PvChecker, PvViolation};
+use pv_core::recognizer::RecognizerStats;
+use pv_dtd::DtdAnalysis;
+use pv_xml::{Document, NodeId, XmlError};
+use std::fmt;
+use std::ops::Range;
+
+/// Why an edit was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditError {
+    /// The underlying tree operation failed (bad node, bad range, …).
+    Xml(XmlError),
+    /// The edit would leave the document not potentially valid; it was
+    /// rolled back.
+    WouldBreakPv(PvViolation),
+    /// The session has no undo state left.
+    NothingToUndo,
+    /// The initial document was not potentially valid.
+    NotPotentiallyValid(PvViolation),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::Xml(e) => write!(f, "tree operation failed: {e}"),
+            EditError::WouldBreakPv(v) => {
+                write!(f, "edit rejected (would break potential validity): {v}")
+            }
+            EditError::NothingToUndo => write!(f, "nothing to undo"),
+            EditError::NotPotentiallyValid(v) => {
+                write!(f, "document is not potentially valid: {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+impl From<XmlError> for EditError {
+    fn from(e: XmlError) -> Self {
+        EditError::Xml(e)
+    }
+}
+
+/// Work counters for a session — the numbers behind the incremental-cost
+/// claims in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// Operations applied successfully.
+    pub applied: u64,
+    /// Operations rejected by the PV guard.
+    pub rejected: u64,
+    /// Guards answered by a single reachability probe (Proposition 3) or
+    /// by Theorem 2 (no work at all).
+    pub constant_time_guards: u64,
+    /// Guards that ran the ECRecognizer.
+    pub ecpv_guards: u64,
+    /// Aggregated recognizer work across all guards.
+    pub recognizer: RecognizerStats,
+}
+
+/// An always-potentially-valid editing session.
+pub struct EditorSession<'a> {
+    checker: PvChecker<'a>,
+    doc: Document,
+    undo: Vec<Document>,
+    stats: SessionStats,
+}
+
+impl<'a> EditorSession<'a> {
+    /// Opens a session on `doc`; fails unless the document is potentially
+    /// valid (the invariant the session maintains thereafter).
+    pub fn open(analysis: &'a DtdAnalysis, doc: Document) -> Result<Self, EditError> {
+        let checker = PvChecker::new(analysis);
+        let outcome = checker.check_document(&doc);
+        match outcome.violation {
+            Some(v) => Err(EditError::NotPotentiallyValid(v)),
+            None => Ok(EditorSession { checker, doc, undo: Vec::new(), stats: SessionStats::default() }),
+        }
+    }
+
+    /// Opens a session on a fresh `<root/>` document.
+    pub fn blank(analysis: &'a DtdAnalysis) -> Self {
+        let doc = Document::new(analysis.name(analysis.root));
+        EditorSession {
+            checker: PvChecker::new(analysis),
+            doc,
+            undo: Vec::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The current document.
+    #[inline]
+    pub fn document(&self) -> &Document {
+        &self.doc
+    }
+
+    /// Session statistics so far.
+    #[inline]
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// The checker in use (for ad-hoc queries).
+    #[inline]
+    pub fn checker(&self) -> &PvChecker<'a> {
+        &self.checker
+    }
+
+    // --- PV-preserving operations (Theorem 2): no guard -----------------
+
+    /// Replaces the text of an existing text node. Never rejected.
+    pub fn update_text(&mut self, node: NodeId, text: &str) -> Result<(), EditError> {
+        self.snapshot();
+        self.doc.update_text(node, text).map_err(|e| self.fail(e))?;
+        self.stats.applied += 1;
+        self.stats.constant_time_guards += 1;
+        Ok(())
+    }
+
+    /// Deletes a text node. Never rejected.
+    pub fn delete_text(&mut self, node: NodeId) -> Result<(), EditError> {
+        self.snapshot();
+        self.doc.delete_text(node).map_err(|e| self.fail(e))?;
+        self.stats.applied += 1;
+        self.stats.constant_time_guards += 1;
+        Ok(())
+    }
+
+    /// Removes an element's tag pair, splicing children up (markup
+    /// deletion). Never rejected (Theorem 2).
+    pub fn delete_markup(&mut self, node: NodeId) -> Result<(), EditError> {
+        self.snapshot();
+        self.doc.unwrap_element(node).map_err(|e| self.fail(e))?;
+        self.stats.applied += 1;
+        self.stats.constant_time_guards += 1;
+        Ok(())
+    }
+
+    // --- O(1)-guarded operation (Proposition 3) -------------------------
+
+    /// Inserts a new text node at `parent[index]`. Guarded by one
+    /// reachability probe — Proposition 3's O(1) check, performed *before*
+    /// touching the tree.
+    pub fn insert_text(
+        &mut self,
+        parent: NodeId,
+        index: usize,
+        text: &str,
+    ) -> Result<NodeId, EditError> {
+        let guard = self.checker.check_text_insertion_at(&self.doc, parent, index);
+        self.stats.constant_time_guards += 1;
+        if let Some(v) = guard.violation {
+            self.stats.rejected += 1;
+            return Err(EditError::WouldBreakPv(v));
+        }
+        self.snapshot();
+        let id = self.doc.insert_text(parent, index, text).map_err(|e| self.fail(e))?;
+        self.stats.applied += 1;
+        Ok(id)
+    }
+
+    // --- ECPV-guarded operations ----------------------------------------
+
+    /// Wraps children `range` of `parent` in a new `name` element (markup
+    /// insertion). Guarded by two ECPV runs; rolled back on rejection.
+    pub fn insert_markup(
+        &mut self,
+        parent: NodeId,
+        range: Range<usize>,
+        name: &str,
+    ) -> Result<NodeId, EditError> {
+        self.snapshot();
+        let node = self.doc.wrap_children(parent, range, name).map_err(|e| self.fail(e))?;
+        let outcome = self.checker.check_markup_insertion(&self.doc, node, parent);
+        self.absorb(outcome.stats);
+        self.stats.ecpv_guards += 1;
+        if let Some(v) = outcome.violation {
+            self.rollback();
+            self.stats.rejected += 1;
+            return Err(EditError::WouldBreakPv(v));
+        }
+        self.stats.applied += 1;
+        Ok(node)
+    }
+
+    /// Wraps a character range of a text node in a new element — the
+    /// "select text, apply tag" gesture. Guarded like
+    /// [`EditorSession::insert_markup`].
+    pub fn wrap_text(
+        &mut self,
+        text_node: NodeId,
+        start: usize,
+        end: usize,
+        name: &str,
+    ) -> Result<NodeId, EditError> {
+        self.snapshot();
+        let parent = self
+            .doc
+            .parent(text_node)
+            .ok_or_else(|| self.fail(XmlError::edit("wrap_text: detached node")))?;
+        let (node, _) =
+            self.doc.wrap_text_range(text_node, start, end, name).map_err(|e| self.fail(e))?;
+        let outcome = self.checker.check_markup_insertion(&self.doc, node, parent);
+        self.absorb(outcome.stats);
+        self.stats.ecpv_guards += 1;
+        if let Some(v) = outcome.violation {
+            self.rollback();
+            self.stats.rejected += 1;
+            return Err(EditError::WouldBreakPv(v));
+        }
+        self.stats.applied += 1;
+        Ok(node)
+    }
+
+    /// Renames an element. Not PV-preserving in general; guarded by two
+    /// ECPV runs.
+    pub fn rename(&mut self, node: NodeId, name: &str) -> Result<(), EditError> {
+        self.snapshot();
+        self.doc.rename_element(node, name).map_err(|e| self.fail(e))?;
+        let outcome = self.checker.check_rename(&self.doc, node);
+        self.absorb(outcome.stats);
+        self.stats.ecpv_guards += 1;
+        if let Some(v) = outcome.violation {
+            self.rollback();
+            self.stats.rejected += 1;
+            return Err(EditError::WouldBreakPv(v));
+        }
+        self.stats.applied += 1;
+        Ok(())
+    }
+
+    // --- queries ----------------------------------------------------------
+
+    /// Element names that could legally wrap children `range` of `parent`
+    /// — the tag-palette query. Tries each declared element with the usual
+    /// two-ECPV guard and rolls back; cost `O(m · |children|)`.
+    pub fn allowed_wraps(&mut self, parent: NodeId, range: Range<usize>) -> Vec<String> {
+        let names: Vec<String> = self
+            .checker
+            .analysis()
+            .dtd
+            .iter()
+            .map(|(_, d)| d.name.to_string())
+            .collect();
+        let mut ok = Vec::new();
+        for name in names {
+            let before = self.doc.clone();
+            if let Ok(node) = self.doc.wrap_children(parent, range.clone(), &name) {
+                let outcome = self.checker.check_markup_insertion(&self.doc, node, parent);
+                self.absorb(outcome.stats);
+                if outcome.violation.is_none() {
+                    ok.push(name);
+                }
+            }
+            self.doc = before;
+        }
+        ok
+    }
+
+    /// Can character data be inserted under `parent`? O(1).
+    pub fn can_insert_text(&self, parent: NodeId) -> bool {
+        self.checker.check_text_insertion(&self.doc, parent).preserves_pv()
+    }
+
+    /// Which symbols (child elements, or σ for text) could be appended to
+    /// `node` while keeping the document potentially valid? The
+    /// autocomplete query (see [`pv_core::suggest`]). Names are returned
+    /// ready for display; σ appears as `"#text"`.
+    pub fn expected_next(&self, node: NodeId) -> Vec<String> {
+        let analysis = self.checker.analysis();
+        pv_core::suggest::expected_next_for_node(&self.checker, &self.doc, node)
+            .unwrap_or_default()
+            .into_iter()
+            .map(|s| match s {
+                pv_core::token::ChildSym::Elem(e) => analysis.name(e).to_owned(),
+                pv_core::token::ChildSym::Sigma => "#text".to_owned(),
+            })
+            .collect()
+    }
+
+    /// Reverts the last applied operation.
+    pub fn undo(&mut self) -> Result<(), EditError> {
+        match self.undo.pop() {
+            Some(doc) => {
+                self.doc = doc;
+                Ok(())
+            }
+            None => Err(EditError::NothingToUndo),
+        }
+    }
+
+    /// Re-checks the whole document (should always hold — exposed for
+    /// tests and defensive callers).
+    pub fn verify_invariant(&self) -> bool {
+        self.checker.check_document(&self.doc).is_potentially_valid()
+    }
+
+    // --- internals --------------------------------------------------------
+
+    fn snapshot(&mut self) {
+        // Whole-document clone: simple, correct undo. Editor buffers are
+        // human-scale; the hot path (checking) never clones.
+        self.undo.push(self.doc.clone());
+        if self.undo.len() > 256 {
+            self.undo.remove(0);
+        }
+    }
+
+    fn rollback(&mut self) {
+        let doc = self.undo.pop().expect("rollback follows snapshot");
+        self.doc = doc;
+    }
+
+    /// Drops the snapshot taken for a failed tree op and forwards the error.
+    fn fail(&mut self, e: XmlError) -> EditError {
+        self.undo.pop();
+        EditError::Xml(e)
+    }
+
+    fn absorb(&mut self, s: RecognizerStats) {
+        self.stats.recognizer.symbols += s.symbols;
+        self.stats.recognizer.node_visits += s.node_visits;
+        self.stats.recognizer.subs_created += s.subs_created;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_dtd::builtin::BuiltinDtd;
+
+    #[test]
+    fn blank_session_is_potentially_valid() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let s = EditorSession::blank(&analysis);
+        assert!(s.verify_invariant());
+    }
+
+    #[test]
+    fn open_rejects_non_pv_documents() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let doc =
+            pv_xml::parse("<r><a><b/><e/><c/></a></r>").unwrap(); // Example 1's w-shape
+        assert!(matches!(
+            EditorSession::open(&analysis, doc),
+            Err(EditError::NotPotentiallyValid(_))
+        ));
+    }
+
+    /// Replays the paper's Figure 3 editing story: start from bare text,
+    /// mark it up step by step; every state stays potentially valid.
+    #[test]
+    fn paper_editorial_walkthrough() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let mut s = EditorSession::blank(&analysis);
+        let root = s.document().root();
+
+        // Editors start by pasting the transcription.
+        let text = s.insert_text(root, 0, "A quick brown fox jumps over a lazy dog").unwrap();
+        // Wrap the whole thing in <a>.
+        let a = s.insert_markup(root, 0..1, "a").unwrap();
+        let _ = text;
+        // Tag "A quick brown" as <b>.
+        let t = s.document().children(a)[0];
+        let _b = s.wrap_text(t, 0, "A quick brown".len(), "b").unwrap();
+        // Tag " fox jumps over a lazy" as <c>.
+        let t2 = s.document().children(a)[1];
+        let _c = s.wrap_text(t2, 0, " fox jumps over a lazy".len(), "c").unwrap();
+        assert!(s.verify_invariant());
+        // Append the <e/> marker after " dog".
+        let e = s.insert_markup(a, 3..3, "e").unwrap();
+        let _ = e;
+        assert!(s.verify_invariant());
+        assert_eq!(s.stats().applied, 5);
+        assert_eq!(s.stats().rejected, 0);
+
+        // The out-of-order Example 1 mistake is rejected: wrapping "dog"
+        // in <f> (f = (c, e)) before <c> position… try an illegal wrap:
+        let bad = s.insert_markup(a, 0..2, "e");
+        assert!(matches!(bad, Err(EditError::WouldBreakPv(_))));
+        // Rolled back: document unchanged and still PV.
+        assert!(s.verify_invariant());
+        assert_eq!(s.stats().rejected, 1);
+    }
+
+    #[test]
+    fn text_insertion_guard_is_o1_and_rejects_empty_elements() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let doc = pv_xml::parse("<r><a><b/><c/><d><e/></d></a></r>").unwrap();
+        let mut s = EditorSession::open(&analysis, doc).unwrap();
+        let a = s.document().children(s.document().root())[0];
+        let d = s.document().children(a)[2];
+        let e = s.document().children(d)[0];
+        // Inserting text under <e> (EMPTY) is rejected without running the
+        // recognizer.
+        let before = s.stats().recognizer.node_visits;
+        assert!(matches!(s.insert_text(e, 0, "boom"), Err(EditError::WouldBreakPv(_))));
+        assert_eq!(s.stats().recognizer.node_visits, before, "O(1) guard ran the recognizer");
+        // Inserting under <d> (mixed) is fine.
+        s.insert_text(d, 0, "fine").unwrap();
+        assert!(s.verify_invariant());
+    }
+
+    #[test]
+    fn deletions_never_rejected() {
+        let analysis = BuiltinDtd::XhtmlBasic.analysis();
+        let doc = pv_xml::parse(
+            "<html><head><title>t</title></head><body><p>x<b>y</b></p></body></html>",
+        )
+        .unwrap();
+        let mut s = EditorSession::open(&analysis, doc).unwrap();
+        // Delete every non-root element one by one; all must succeed.
+        loop {
+            let victim = s
+                .document()
+                .elements()
+                .find(|&n| n != s.document().root());
+            match victim {
+                None => break,
+                Some(v) => s.delete_markup(v).unwrap(),
+            }
+            assert!(s.verify_invariant());
+        }
+    }
+
+    #[test]
+    fn undo_restores_previous_state() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let mut s = EditorSession::blank(&analysis);
+        let root = s.document().root();
+        s.insert_text(root, 0, "hello").unwrap();
+        let xml_before = s.document().to_xml();
+        s.insert_markup(root, 0..1, "a").unwrap();
+        assert_ne!(s.document().to_xml(), xml_before);
+        s.undo().unwrap();
+        assert_eq!(s.document().to_xml(), xml_before);
+        s.undo().unwrap();
+        assert_eq!(s.document().to_xml(), "<r/>");
+        assert!(matches!(s.undo(), Err(EditError::NothingToUndo)));
+    }
+
+    #[test]
+    fn rejected_ops_leave_no_undo_entry() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let mut s = EditorSession::blank(&analysis);
+        let root = s.document().root();
+        s.insert_text(root, 0, "x").unwrap();
+        let snapshot = s.document().to_xml();
+        // Illegal wrap must roll back and not leave a bogus undo frame.
+        assert!(s.insert_markup(root, 0..1, "e").is_err());
+        assert_eq!(s.document().to_xml(), snapshot);
+        s.undo().unwrap(); // undoes insert_text, not the failed wrap
+        assert_eq!(s.document().to_xml(), "<r/>");
+    }
+
+    #[test]
+    fn allowed_wraps_matches_figure1_semantics() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let mut s = EditorSession::blank(&analysis);
+        let root = s.document().root();
+        s.insert_text(root, 0, "words").unwrap();
+        // Wrapping the σ directly under r: a, b, c, d, f all reach PCDATA…
+        let mut wraps = s.allowed_wraps(root, 0..1);
+        wraps.sort();
+        // e is EMPTY — cannot contain the text.
+        assert!(!wraps.contains(&"e".to_owned()));
+        assert!(wraps.contains(&"a".to_owned()));
+        assert!(wraps.contains(&"c".to_owned()));
+        assert!(s.verify_invariant());
+    }
+
+    #[test]
+    fn rename_guarded() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let doc = pv_xml::parse("<r><a><b/><c/><d/></a></r>").unwrap();
+        let mut s = EditorSession::open(&analysis, doc).unwrap();
+        let a = s.document().children(s.document().root())[0];
+        let c = s.document().children(a)[1];
+        // c → b creates the unfixable b,b,d order.
+        assert!(matches!(s.rename(c, "b"), Err(EditError::WouldBreakPv(_))));
+        assert!(s.verify_invariant());
+        // c → f is fine (f fits the (c|f) slot).
+        s.rename(c, "f").unwrap();
+        assert!(s.verify_invariant());
+    }
+
+    #[test]
+    fn expected_next_guides_the_palette() {
+        let analysis = BuiltinDtd::XhtmlBasic.analysis();
+        let doc = pv_xml::parse("<html><head><title>t</title></head></html>").unwrap();
+        let s = EditorSession::open(&analysis, doc).unwrap();
+        let root = s.document().root();
+        let next = s.expected_next(root);
+        assert!(next.contains(&"body".to_owned()), "{next:?}");
+        assert!(!next.contains(&"head".to_owned()), "head cannot repeat: {next:?}");
+        // p can follow too (inside an elided body).
+        assert!(next.contains(&"p".to_owned()), "{next:?}");
+    }
+
+    #[test]
+    fn mixed_guard_costs_tracked() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let mut s = EditorSession::blank(&analysis);
+        let root = s.document().root();
+        s.insert_text(root, 0, "t").unwrap();
+        s.insert_markup(root, 0..1, "a").unwrap();
+        assert!(s.stats().constant_time_guards >= 1);
+        assert!(s.stats().ecpv_guards >= 1);
+        assert!(s.stats().recognizer.symbols > 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Brzozowski-derivative matching of content models — an independent
+//! second implementation of "does this child sequence match this model?",
+//! used to cross-check the NFA subset simulation in [`crate::validator`].
+//!
+//! The derivative of a regular expression `e` w.r.t. a symbol `a`,
+//! `∂_a e`, denotes `{ w | a·w ∈ L(e) }`; a sequence matches iff deriving
+//! by each symbol in turn ends in a nullable expression. Derivatives need
+//! no automaton construction at all, which makes them a great oracle: the
+//! two matchers share no code beyond the AST.
+//!
+//! (Aside: derivative-based matching is also how several modern schema
+//! validators handle RELAX NG; the paper predates that trend.)
+
+use pv_core::token::ChildSym;
+use pv_dtd::{ContentSpec, Cp, Dtd, ElemId};
+use std::rc::Rc;
+
+/// A regular expression over child symbols, with smart constructors that
+/// keep derivatives small.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Re {
+    /// ∅ — matches nothing.
+    Empty,
+    /// ε — matches only the empty sequence.
+    Eps,
+    /// A single child element.
+    Elem(ElemId),
+    /// A single σ.
+    Sigma,
+    /// Concatenation.
+    Cat(Rc<Re>, Rc<Re>),
+    /// Alternation.
+    Alt(Rc<Re>, Rc<Re>),
+    /// Kleene star.
+    Star(Rc<Re>),
+}
+
+impl Re {
+    fn cat(a: Rc<Re>, b: Rc<Re>) -> Rc<Re> {
+        match (&*a, &*b) {
+            (Re::Empty, _) | (_, Re::Empty) => Rc::new(Re::Empty),
+            (Re::Eps, _) => b,
+            (_, Re::Eps) => a,
+            _ => Rc::new(Re::Cat(a, b)),
+        }
+    }
+
+    fn alt(a: Rc<Re>, b: Rc<Re>) -> Rc<Re> {
+        match (&*a, &*b) {
+            (Re::Empty, _) => b,
+            (_, Re::Empty) => a,
+            _ if a == b => a,
+            _ => Rc::new(Re::Alt(a, b)),
+        }
+    }
+
+    fn star(a: Rc<Re>) -> Rc<Re> {
+        match &*a {
+            Re::Empty | Re::Eps => Rc::new(Re::Eps),
+            Re::Star(_) => a,
+            _ => Rc::new(Re::Star(a)),
+        }
+    }
+
+    /// Does the expression accept ε?
+    fn nullable(&self) -> bool {
+        match self {
+            Re::Empty | Re::Elem(_) | Re::Sigma => false,
+            Re::Eps | Re::Star(_) => true,
+            Re::Cat(a, b) => a.nullable() && b.nullable(),
+            Re::Alt(a, b) => a.nullable() || b.nullable(),
+        }
+    }
+
+    /// Brzozowski derivative w.r.t. one symbol.
+    fn deriv(self: &Rc<Re>, x: ChildSym) -> Rc<Re> {
+        match &**self {
+            Re::Empty | Re::Eps => Rc::new(Re::Empty),
+            Re::Elem(e) => {
+                if x == ChildSym::Elem(*e) {
+                    Rc::new(Re::Eps)
+                } else {
+                    Rc::new(Re::Empty)
+                }
+            }
+            Re::Sigma => {
+                if x == ChildSym::Sigma {
+                    Rc::new(Re::Eps)
+                } else {
+                    Rc::new(Re::Empty)
+                }
+            }
+            Re::Cat(a, b) => {
+                let left = Re::cat(a.deriv(x), b.clone());
+                if a.nullable() {
+                    Re::alt(left, b.deriv(x))
+                } else {
+                    left
+                }
+            }
+            Re::Alt(a, b) => Re::alt(a.deriv(x), b.deriv(x)),
+            Re::Star(a) => Re::cat(a.deriv(x), Re::star(a.clone())),
+        }
+    }
+}
+
+fn from_cp(cp: &Cp) -> Rc<Re> {
+    match cp {
+        Cp::Name(id) => Rc::new(Re::Elem(*id)),
+        Cp::Seq(cs) => cs
+            .iter()
+            .map(from_cp)
+            .reduce(Re::cat)
+            .unwrap_or_else(|| Rc::new(Re::Eps)),
+        Cp::Choice(cs) => cs
+            .iter()
+            .map(from_cp)
+            .reduce(Re::alt)
+            .unwrap_or_else(|| Rc::new(Re::Empty)),
+        Cp::Opt(c) => Re::alt(from_cp(c), Rc::new(Re::Eps)),
+        Cp::Star(c) => Re::star(from_cp(c)),
+        Cp::Plus(c) => {
+            let e = from_cp(c);
+            Re::cat(e.clone(), Re::star(e))
+        }
+    }
+}
+
+fn from_spec(dtd: &Dtd, spec: &ContentSpec) -> Rc<Re> {
+    match spec {
+        ContentSpec::Empty => Rc::new(Re::Eps),
+        ContentSpec::PcdataOnly => Re::alt(Rc::new(Re::Sigma), Rc::new(Re::Eps)),
+        ContentSpec::Mixed(ids) => {
+            let mut inner = Rc::new(Re::Sigma);
+            for id in ids {
+                inner = Re::alt(inner, Rc::new(Re::Elem(*id)));
+            }
+            Re::star(inner)
+        }
+        ContentSpec::Any => {
+            let mut inner = Rc::new(Re::Sigma);
+            for id in dtd.ids() {
+                inner = Re::alt(inner, Rc::new(Re::Elem(id)));
+            }
+            Re::star(inner)
+        }
+        ContentSpec::Children(cp) => from_cp(cp),
+    }
+}
+
+/// Does `elem`'s content model accept exactly the child sequence `syms`?
+/// Independent oracle for [`crate::validator::accepts_content`].
+pub fn accepts_content_derivative(dtd: &Dtd, elem: ElemId, syms: &[ChildSym]) -> bool {
+    let mut re = from_spec(dtd, &dtd.element(elem).content);
+    for &x in syms {
+        re = re.deriv(x);
+        if matches!(&*re, Re::Empty) {
+            return false;
+        }
+    }
+    re.nullable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validator::accepts_content;
+    use pv_dtd::builtin::BuiltinDtd;
+
+    fn syms(dtd: &Dtd, names: &[&str]) -> Vec<ChildSym> {
+        names
+            .iter()
+            .map(|n| {
+                if *n == "σ" {
+                    ChildSym::Sigma
+                } else {
+                    ChildSym::Elem(dtd.id(n).unwrap())
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn figure1_content_checks() {
+        let dtd = BuiltinDtd::Figure1.dtd();
+        let a = dtd.id("a").unwrap();
+        // Valid fillings of (b?, (c|f), d):
+        for seq in [vec!["b", "c", "d"], vec!["c", "d"], vec!["f", "d"], vec!["b", "f", "d"]] {
+            assert!(accepts_content_derivative(&dtd, a, &syms(&dtd, &seq)), "{seq:?}");
+        }
+        // Invalid ones:
+        for seq in [vec!["b", "d"], vec!["c"], vec!["d", "c"], vec!["b", "e", "c", "d"]] {
+            assert!(!accepts_content_derivative(&dtd, a, &syms(&dtd, &seq)), "{seq:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_and_pcdata() {
+        let dtd = BuiltinDtd::Figure1.dtd();
+        let d = dtd.id("d").unwrap();
+        assert!(accepts_content_derivative(&dtd, d, &syms(&dtd, &["σ", "e", "σ"])));
+        assert!(accepts_content_derivative(&dtd, d, &[]));
+        assert!(!accepts_content_derivative(&dtd, d, &syms(&dtd, &["c"])));
+        let c = dtd.id("c").unwrap();
+        assert!(accepts_content_derivative(&dtd, c, &syms(&dtd, &["σ"])));
+        assert!(!accepts_content_derivative(&dtd, c, &syms(&dtd, &["σ", "e"])));
+    }
+
+    #[test]
+    fn agrees_with_nfa_on_builtins_exhaustively() {
+        // Cross-check the two matchers on every element of every built-in
+        // DTD over all child sequences of length ≤ 3 drawn from a small
+        // alphabet sample.
+        for b in BuiltinDtd::ALL {
+            let dtd = b.dtd();
+            let alphabet: Vec<ChildSym> = dtd
+                .ids()
+                .take(4)
+                .map(ChildSym::Elem)
+                .chain([ChildSym::Sigma])
+                .collect();
+            let mut seqs: Vec<Vec<ChildSym>> = vec![Vec::new()];
+            for _ in 0..3 {
+                let mut next = Vec::new();
+                for s in &seqs {
+                    for &a in &alphabet {
+                        let mut t = s.clone();
+                        t.push(a);
+                        next.push(t);
+                    }
+                }
+                seqs.extend(next);
+            }
+            for elem in dtd.ids() {
+                for s in &seqs {
+                    let nfa = accepts_content(&dtd, elem, s).is_ok();
+                    let der = accepts_content_derivative(&dtd, elem, s);
+                    assert_eq!(
+                        nfa,
+                        der,
+                        "{}: <{}> on {:?}",
+                        b.name(),
+                        dtd.name(elem),
+                        s
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        let e = Rc::new(Re::Eps);
+        let n = Rc::new(Re::Empty);
+        assert_eq!(&*Re::cat(e.clone(), n.clone()), &Re::Empty);
+        assert_eq!(&*Re::alt(n.clone(), e.clone()), &Re::Eps);
+        assert_eq!(&*Re::star(e), &Re::Eps);
+        assert_eq!(&*Re::star(Rc::new(Re::Star(Rc::new(Re::Sigma)))), &Re::Star(Rc::new(Re::Sigma)));
+    }
+}

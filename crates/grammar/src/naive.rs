@@ -1,0 +1,221 @@
+//! Brute-force potential-validity oracle: breadth-first search over markup
+//! insertions (Definition 2, applied literally).
+//!
+//! For tiny instances this enumerates every extension of the token string
+//! with up to `max_insertions` inserted tag pairs and checks each for
+//! validity. It is the ground truth that the Earley baseline and the
+//! ECRecognizer are differentially tested against — slow by design,
+//! obviously correct by construction.
+
+use crate::validator::accepts_content;
+use pv_core::token::{ChildSym, Tok};
+use pv_dtd::{Dtd, ElemId};
+use std::collections::{HashSet, VecDeque};
+
+/// Linear-time validity of a token string: parses the tokens into a tree
+/// and checks every node's content model.
+pub fn tokens_valid(tokens: &[Tok], dtd: &Dtd, root: ElemId) -> bool {
+    // Parse into (elem, children-symbol sequences) with an explicit stack.
+    let mut stack: Vec<(ElemId, Vec<ChildSym>)> = Vec::new();
+    let mut root_ok = false;
+    for (idx, &tok) in tokens.iter().enumerate() {
+        match tok {
+            Tok::Open(e) => stack.push((e, Vec::new())),
+            Tok::Sigma => match stack.last_mut() {
+                Some((_, kids)) => {
+                    if kids.last() == Some(&ChildSym::Sigma) {
+                        return false; // collapsed runs never repeat
+                    }
+                    kids.push(ChildSym::Sigma);
+                }
+                None => return false,
+            },
+            Tok::Close(e) => {
+                let Some((open, kids)) = stack.pop() else { return false };
+                if open != e {
+                    return false;
+                }
+                if accepts_content(dtd, e, &kids).is_err() {
+                    return false;
+                }
+                match stack.last_mut() {
+                    Some((_, parent_kids)) => parent_kids.push(ChildSym::Elem(e)),
+                    None => {
+                        // Completed the root element: must be r and final.
+                        if e != root || idx + 1 != tokens.len() {
+                            return false;
+                        }
+                        root_ok = true;
+                    }
+                }
+            }
+        }
+    }
+    root_ok && stack.is_empty()
+}
+
+/// Brute-force decision of potential validity: BFS over tag-pair
+/// insertions, up to `max_insertions` levels. Returns `true` if some
+/// extension within the budget is valid.
+///
+/// Complexity is exponential; keep `tokens.len()` ≤ ~12 and
+/// `max_insertions` ≤ ~4.
+pub fn naive_pv(tokens: &[Tok], dtd: &Dtd, root: ElemId, max_insertions: usize) -> bool {
+    let mut seen: HashSet<Vec<Tok>> = HashSet::new();
+    let mut queue: VecDeque<(Vec<Tok>, usize)> = VecDeque::new();
+    let start = tokens.to_vec();
+    seen.insert(start.clone());
+    queue.push_back((start, 0));
+
+    while let Some((cur, used)) = queue.pop_front() {
+        if tokens_valid(&cur, dtd, root) {
+            return true;
+        }
+        if used == max_insertions {
+            continue;
+        }
+        for next in insertions(&cur, dtd) {
+            if seen.insert(next.clone()) {
+                queue.push_back((next, used + 1));
+            }
+        }
+    }
+    false
+}
+
+/// All single tag-pair insertions keeping the string well formed
+/// (Definition 2 (2): `ω = w1 <δ> w2 </δ> w3` with `w1 w2 w3` the original
+/// and `ω` still an XML string — i.e. `w2` spans balanced markup).
+fn insertions(tokens: &[Tok], dtd: &Dtd) -> Vec<Vec<Tok>> {
+    let n = tokens.len();
+    // depth[i] = nesting depth before token i.
+    let mut depth = Vec::with_capacity(n + 1);
+    let mut d = 0i32;
+    depth.push(0);
+    for &t in tokens {
+        match t {
+            Tok::Open(_) => d += 1,
+            Tok::Close(_) => d -= 1,
+            Tok::Sigma => {}
+        }
+        depth.push(d);
+    }
+    let mut out = Vec::new();
+    for p in 0..=n {
+        for q in p..=n {
+            // The span [p, q) must be balanced and never dip below its
+            // boundary depth.
+            if depth[q] != depth[p] || (p..q).any(|k| depth[k + 1] < depth[p]) {
+                continue;
+            }
+            // Splitting a σ run in two is never useful (σσ is not a δ
+            // string); skip positions inside… actually p == q inside a σ
+            // token cannot happen since positions are between tokens.
+            for y in dtd.ids() {
+                let mut w = Vec::with_capacity(n + 2);
+                w.extend_from_slice(&tokens[..p]);
+                w.push(Tok::Open(y));
+                w.extend_from_slice(&tokens[p..q]);
+                w.push(Tok::Close(y));
+                w.extend_from_slice(&tokens[q..]);
+                out.push(w);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_core::token::Tokens;
+    use pv_dtd::builtin::BuiltinDtd;
+
+    fn toks(b: BuiltinDtd, xml: &str) -> (Dtd, ElemId, Vec<Tok>) {
+        let dtd = b.dtd();
+        let root = dtd.id(b.root()).unwrap();
+        let doc = pv_xml::parse(xml).unwrap();
+        let t = Tokens::delta(&doc, doc.root(), &dtd).unwrap();
+        (dtd, root, t)
+    }
+
+    #[test]
+    fn tokens_valid_agrees_with_examples() {
+        let (dtd, root, t) = toks(
+            BuiltinDtd::Figure1,
+            "<r><a><b><d>A quick brown</d></b><c>x</c><d>y<e></e></d></a></r>",
+        );
+        assert!(tokens_valid(&t, &dtd, root));
+        let (dtd2, root2, t2) =
+            toks(BuiltinDtd::Figure1, "<r><a><b>x</b><c>y</c>z<e/></a></r>");
+        assert!(!tokens_valid(&t2, &dtd2, root2));
+    }
+
+    #[test]
+    fn tokens_valid_rejects_malformed() {
+        let dtd = BuiltinDtd::Figure1.dtd();
+        let root = dtd.id("r").unwrap();
+        let r = root;
+        // Unbalanced / misnested strings.
+        assert!(!tokens_valid(&[Tok::Open(r)], &dtd, root));
+        assert!(!tokens_valid(&[Tok::Close(r)], &dtd, root));
+        assert!(!tokens_valid(&[Tok::Sigma], &dtd, root));
+        assert!(!tokens_valid(&[], &dtd, root));
+    }
+
+    #[test]
+    fn naive_accepts_paper_s() {
+        // s needs exactly two insertions (Figure 3).
+        let (dtd, root, t) = toks(
+            BuiltinDtd::Figure1,
+            "<r><a><b>A quick brown</b><c>fox</c> dog<e></e></a></r>",
+        );
+        assert!(!naive_pv(&t, &dtd, root, 1));
+        assert!(naive_pv(&t, &dtd, root, 2));
+    }
+
+    #[test]
+    fn naive_rejects_paper_w() {
+        let (dtd, root, t) =
+            toks(BuiltinDtd::Figure1, "<r><a><b>x</b><e></e><c>y</c></a></r>");
+        // Whatever the budget, w stays invalid (2 keeps the BFS tractable).
+        assert!(!naive_pv(&t, &dtd, root, 2));
+    }
+
+    #[test]
+    fn naive_accepts_already_valid() {
+        let (dtd, root, t) = toks(
+            BuiltinDtd::Figure1,
+            "<r><a><b><d>x</d></b><c>y</c><d/></a></r>",
+        );
+        assert!(naive_pv(&t, &dtd, root, 0));
+    }
+
+    #[test]
+    fn naive_t2_example6() {
+        let (dtd, root, t) = toks(BuiltinDtd::T2, "<a><b/><b/><b/></a>");
+        assert!(!naive_pv(&t, &dtd, root, 0));
+        assert!(naive_pv(&t, &dtd, root, 1));
+    }
+
+    #[test]
+    fn insertion_enumeration_respects_balance() {
+        let dtd = BuiltinDtd::T1.dtd();
+        let a = dtd.id("a").unwrap();
+        let b = dtd.id("b").unwrap();
+        let t = vec![Tok::Open(a), Tok::Open(b), Tok::Close(b), Tok::Close(a)];
+        for w in insertions(&t, &dtd) {
+            // Every produced string must still be balanced.
+            let mut depth = 0i32;
+            for tok in &w {
+                match tok {
+                    Tok::Open(_) => depth += 1,
+                    Tok::Close(_) => depth -= 1,
+                    Tok::Sigma => {}
+                }
+                assert!(depth >= 0);
+            }
+            assert_eq!(depth, 0);
+        }
+    }
+}

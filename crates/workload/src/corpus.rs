@@ -1,0 +1,198 @@
+//! Deterministic realistic documents for the built-in DTDs, sized by a
+//! target element count — the benchmark suite's standard corpora.
+//!
+//! Unlike [`crate::docgen`], these builders produce documents with the
+//! *shape* of their real-world counterparts (a play has acts with dozens
+//! of speeches of several lines each; an XHTML page is a long flat body; a
+//! TEI transcription nests divisions), which matters for the recognizer's
+//! branching behaviour.
+
+use pv_dtd::builtin::BuiltinDtd;
+use pv_xml::Document;
+
+/// A play (PLAY DTD) with enough acts/scenes/speeches to reach roughly
+/// `target_elements` element nodes.
+pub fn play(target_elements: usize) -> Document {
+    let mut doc = Document::new("PLAY");
+    let root = doc.root();
+    let title = doc.append_element(root, "TITLE").unwrap();
+    doc.append_text(title, "The Tragedy of Potential Validity").unwrap();
+    let personae = doc.append_element(root, "PERSONAE").unwrap();
+    let pt = doc.append_element(personae, "TITLE").unwrap();
+    doc.append_text(pt, "Dramatis Personae").unwrap();
+    for name in ["EDITOR", "PARSER"] {
+        let p = doc.append_element(personae, "PERSONA").unwrap();
+        doc.append_text(p, name).unwrap();
+    }
+
+    // ~13 elements per speech-pair scene block below.
+    let mut produced = 8usize;
+    while produced < target_elements {
+        let act = doc.append_element(root, "ACT").unwrap();
+        let at = doc.append_element(act, "TITLE").unwrap();
+        doc.append_text(at, "ACT").unwrap();
+        produced += 2;
+        for _scene in 0..3 {
+            if produced >= target_elements {
+                break;
+            }
+            let scene = doc.append_element(act, "SCENE").unwrap();
+            let st = doc.append_element(scene, "TITLE").unwrap();
+            doc.append_text(st, "SCENE I. A workshop.").unwrap();
+            produced += 2;
+            for s in 0..4 {
+                let speech = doc.append_element(scene, "SPEECH").unwrap();
+                let sp = doc.append_element(speech, "SPEAKER").unwrap();
+                doc.append_text(sp, if s % 2 == 0 { "EDITOR" } else { "PARSER" }).unwrap();
+                produced += 2;
+                for l in 0..4 {
+                    let line = doc.append_element(speech, "LINE").unwrap();
+                    doc.append_text(line, match l {
+                        0 => "Shall I compare thee to a well-formed tree?",
+                        1 => "Thou art more lovely and more deterministic:",
+                        2 => "Rough winds do shake the darling tags of May,",
+                        _ => "And summer's lease hath all too short a date.",
+                    })
+                    .unwrap();
+                    produced += 1;
+                }
+            }
+        }
+    }
+    debug_assert!(doc.check_integrity().is_ok());
+    doc
+}
+
+/// An XHTML page (XhtmlBasic DTD) with roughly `target_elements` elements.
+pub fn xhtml(target_elements: usize) -> Document {
+    let mut doc = Document::new("html");
+    let root = doc.root();
+    let head = doc.append_element(root, "head").unwrap();
+    let title = doc.append_element(head, "title").unwrap();
+    doc.append_text(title, "On Potential Validity").unwrap();
+    let body = doc.append_element(root, "body").unwrap();
+    let h1 = doc.append_element(body, "h1").unwrap();
+    doc.append_text(h1, "Document-centric editing").unwrap();
+
+    let mut produced = 5usize;
+    let mut i = 0usize;
+    while produced < target_elements {
+        match i % 4 {
+            0 | 1 => {
+                let p = doc.append_element(body, "p").unwrap();
+                doc.append_text(p, "A quick brown fox jumps over a ").unwrap();
+                let b = doc.append_element(p, "b").unwrap();
+                doc.append_text(b, "lazy").unwrap();
+                let inner = doc.append_element(b, "i").unwrap();
+                doc.append_text(inner, " and italic").unwrap();
+                doc.append_text(p, " dog.").unwrap();
+                produced += 3;
+            }
+            2 => {
+                let ul = doc.append_element(body, "ul").unwrap();
+                for item in ["insert", "delete", "update"] {
+                    let li = doc.append_element(ul, "li").unwrap();
+                    doc.append_text(li, item).unwrap();
+                }
+                produced += 4;
+            }
+            _ => {
+                let pre = doc.append_element(body, "pre").unwrap();
+                doc.append_text(pre, "<r><a>…</a></r>").unwrap();
+                produced += 1;
+            }
+        }
+        i += 1;
+    }
+    debug_assert!(doc.check_integrity().is_ok());
+    doc
+}
+
+/// A TEI transcription (TeiLite DTD) with roughly `target_elements`
+/// elements, nesting divisions two levels deep.
+pub fn tei(target_elements: usize) -> Document {
+    let mut doc = Document::new("TEI");
+    let root = doc.root();
+    let header = doc.append_element(root, "teiHeader").unwrap();
+    let fd = doc.append_element(header, "fileDesc").unwrap();
+    let ts = doc.append_element(fd, "titleStmt").unwrap();
+    let t = doc.append_element(ts, "title").unwrap();
+    doc.append_text(t, "Letters of a Markup Editor").unwrap();
+    let text = doc.append_element(root, "text").unwrap();
+    let body = doc.append_element(text, "body").unwrap();
+
+    let mut produced = 7usize;
+    while produced < target_elements {
+        let div = doc.append_element(body, "div").unwrap();
+        let head = doc.append_element(div, "head").unwrap();
+        doc.append_text(head, "Chapter").unwrap();
+        produced += 2;
+        for _ in 0..3 {
+            let sub = doc.append_element(div, "div").unwrap();
+            produced += 1;
+            for pi in 0..4 {
+                let p = doc.append_element(sub, "p").unwrap();
+                doc.append_text(p, "Call me ").unwrap();
+                let name = doc.append_element(p, "name").unwrap();
+                doc.append_text(name, "Ishmael").unwrap();
+                doc.append_text(p, ". Some years ago — never mind how long — ").unwrap();
+                if pi % 2 == 0 {
+                    let hi = doc.append_element(p, "hi").unwrap();
+                    doc.append_text(hi, "precisely").unwrap();
+                    produced += 1;
+                }
+                doc.append_element(p, "lb").unwrap();
+                produced += 3;
+            }
+        }
+    }
+    debug_assert!(doc.check_integrity().is_ok());
+    doc
+}
+
+/// Builds the standard corpus document for a built-in DTD, when one exists.
+pub fn for_builtin(b: BuiltinDtd, target_elements: usize) -> Option<Document> {
+    match b {
+        BuiltinDtd::Play => Some(play(target_elements)),
+        BuiltinDtd::XhtmlBasic => Some(xhtml(target_elements)),
+        BuiltinDtd::TeiLite => Some(tei(target_elements)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_grammar::validator::validate_document;
+
+    #[test]
+    fn corpora_are_valid() {
+        for (b, doc) in [
+            (BuiltinDtd::Play, play(500)),
+            (BuiltinDtd::XhtmlBasic, xhtml(500)),
+            (BuiltinDtd::TeiLite, tei(500)),
+        ] {
+            let analysis = b.analysis();
+            validate_document(&doc, &analysis.dtd, analysis.root)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        }
+    }
+
+    #[test]
+    fn corpora_scale() {
+        for target in [50usize, 500, 5000] {
+            let doc = play(target);
+            let count = doc.element_count();
+            assert!(
+                count >= target && count < target + 40,
+                "target {target} produced {count}"
+            );
+        }
+    }
+
+    #[test]
+    fn for_builtin_covers_realistic_dtds() {
+        assert!(for_builtin(BuiltinDtd::Play, 100).is_some());
+        assert!(for_builtin(BuiltinDtd::Figure1, 100).is_none());
+    }
+}

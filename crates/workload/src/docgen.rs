@@ -1,0 +1,306 @@
+//! Random **valid** document generation: budgeted walks of the content
+//! grammar. Valid documents are the bedrock of the property-test suite
+//! (valid ⇒ potentially valid; deletions of tag pairs preserve potential
+//! validity, Theorem 2).
+//!
+//! The walk is guided by a per-element *minimal completion cost* (least
+//! number of element nodes needed to finish validly), computed by fixpoint;
+//! when the node budget runs low the walk always takes cheapest branches,
+//! so generation terminates with a valid document of roughly the requested
+//! size even for recursive DTDs.
+
+use pv_dtd::{ContentSpec, Cp, Dtd, DtdAnalysis, ElemId};
+use pv_xml::{Document, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const WORDS: &[&str] = &[
+    "lorem", "ipsum", "dolor", "sit", "amet", "consectetur", "adipiscing", "elit", "sed", "do",
+    "eiusmod", "tempor", "incididunt", "labore", "dolore", "magna", "aliqua",
+];
+
+/// Deterministic random generator of valid documents.
+pub struct DocGen<'a> {
+    analysis: &'a DtdAnalysis,
+    rng: StdRng,
+    /// min_cost[i]: minimal element-node count of a valid subtree rooted at
+    /// element i (including itself). `usize::MAX/2` = unproductive.
+    min_cost: Vec<usize>,
+}
+
+const INFINITY: usize = usize::MAX / 4;
+
+impl<'a> DocGen<'a> {
+    /// Creates a generator for the given compiled DTD.
+    pub fn new(analysis: &'a DtdAnalysis, seed: u64) -> Self {
+        let min_cost = compute_min_cost(&analysis.dtd);
+        DocGen { analysis, rng: StdRng::seed_from_u64(seed), min_cost }
+    }
+
+    /// Generates a valid document with roughly `target_nodes` element
+    /// nodes (hard lower bounds of the DTD may exceed it).
+    pub fn generate(&mut self, target_nodes: usize) -> Document {
+        let root = self.analysis.root;
+        let mut doc = Document::new(self.analysis.name(root));
+        let mut budget = target_nodes.saturating_sub(1) as isize;
+        let root_node = doc.root();
+        self.fill(&mut doc, root_node, root, &mut budget, 0);
+        debug_assert!(doc.check_integrity().is_ok());
+        doc
+    }
+
+    /// Expands `node` (an element of type `elem`) with valid content.
+    fn fill(
+        &mut self,
+        doc: &mut Document,
+        node: NodeId,
+        elem: ElemId,
+        budget: &mut isize,
+        depth: usize,
+    ) {
+        // Clone the spec to appease borrows; content models are small.
+        let spec = self.analysis.dtd.element(elem).content.clone();
+        match spec {
+            ContentSpec::Empty => {}
+            ContentSpec::PcdataOnly => {
+                if self.rng.random_bool(0.8) {
+                    let text = self.words(1..4);
+                    doc.append_text(node, &text).unwrap();
+                }
+            }
+            ContentSpec::Any | ContentSpec::Mixed(_) => {
+                let members: Vec<ElemId> = match &spec {
+                    ContentSpec::Mixed(ids) => ids.clone(),
+                    _ => self.analysis.dtd.ids().collect(),
+                };
+                let n = if *budget > 0 && depth < 24 { self.rng.random_range(0..4) } else { 0 };
+                for i in 0..n {
+                    if i % 2 == 0 || members.is_empty() {
+                        let text = self.words(1..3);
+                        doc.append_text(node, &text).unwrap();
+                    } else {
+                        let pick = members[self.rng.random_range(0..members.len())];
+                        if self.min_cost[pick.index()] < INFINITY {
+                            self.child(doc, node, pick, budget, depth);
+                        }
+                    }
+                }
+            }
+            ContentSpec::Children(cp) => {
+                let mut seq = Vec::new();
+                self.sample_cp(&cp, budget, depth, &mut seq);
+                for e in seq {
+                    self.child(doc, node, e, budget, depth);
+                }
+            }
+        }
+    }
+
+    fn child(
+        &mut self,
+        doc: &mut Document,
+        parent: NodeId,
+        elem: ElemId,
+        budget: &mut isize,
+        depth: usize,
+    ) {
+        *budget -= 1;
+        let id = doc.append_element(parent, self.analysis.name(elem)).unwrap();
+        self.fill(doc, id, elem, budget, depth + 1);
+    }
+
+    /// Samples a concrete child-element sequence matching `cp`.
+    fn sample_cp(&mut self, cp: &Cp, budget: &mut isize, depth: usize, out: &mut Vec<ElemId>) {
+        let constrained = *budget <= 0 || depth >= 24;
+        match cp {
+            Cp::Name(id) => out.push(*id),
+            Cp::Seq(cs) => {
+                for c in cs {
+                    self.sample_cp(c, budget, depth, out);
+                }
+            }
+            Cp::Choice(cs) => {
+                let pick = if constrained {
+                    // Cheapest branch.
+                    cs.iter()
+                        .min_by_key(|c| self.cp_cost(c))
+                        .expect("non-empty choice")
+                } else {
+                    &cs[self.rng.random_range(0..cs.len())]
+                };
+                self.sample_cp(pick, budget, depth, out);
+            }
+            Cp::Opt(c) => {
+                if !constrained && self.rng.random_bool(0.6) {
+                    self.sample_cp(c, budget, depth, out);
+                }
+            }
+            Cp::Star(c) => {
+                let n = self.rep_count(0, constrained, *budget, self.cp_cost(c));
+                for _ in 0..n {
+                    self.sample_cp(c, budget, depth, out);
+                }
+            }
+            Cp::Plus(c) => {
+                let n = self.rep_count(1, constrained, *budget, self.cp_cost(c));
+                for _ in 0..n {
+                    self.sample_cp(c, budget, depth, out);
+                }
+            }
+        }
+    }
+
+    /// Budget-aware repetition count for starred/plussed particles: spend
+    /// a share of the remaining budget, capped to keep single nodes from
+    /// exploding (overshoot is bounded by one sampling level).
+    fn rep_count(&mut self, min: usize, constrained: bool, budget: isize, item_cost: usize) -> usize {
+        if constrained {
+            return min;
+        }
+        let affordable = (budget.max(0) as usize) / item_cost.max(1);
+        let cap = affordable.clamp(min, 64);
+        if cap <= min {
+            return min;
+        }
+        self.rng.random_range(min..=cap)
+    }
+
+    /// Minimal element-node cost of one expansion of `cp`.
+    fn cp_cost(&self, cp: &Cp) -> usize {
+        cp_cost(cp, &self.min_cost)
+    }
+
+    fn words(&mut self, range: std::ops::Range<usize>) -> String {
+        let n = self.rng.random_range(range);
+        let mut s = String::new();
+        for i in 0..n.max(1) {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(WORDS[self.rng.random_range(0..WORDS.len())]);
+        }
+        s
+    }
+}
+
+/// Fixpoint: minimal valid subtree size (in element nodes) per element.
+fn compute_min_cost(dtd: &Dtd) -> Vec<usize> {
+    let mut cost = vec![INFINITY; dtd.len()];
+    loop {
+        let mut changed = false;
+        for (id, decl) in dtd.iter() {
+            let c = match &decl.content {
+                ContentSpec::Empty
+                | ContentSpec::Any
+                | ContentSpec::PcdataOnly
+                | ContentSpec::Mixed(_) => 1,
+                ContentSpec::Children(cp) => 1usize.saturating_add(cp_cost(cp, &cost)),
+            };
+            if c < cost[id.index()] {
+                cost[id.index()] = c;
+                changed = true;
+            }
+        }
+        if !changed {
+            return cost;
+        }
+    }
+}
+
+fn cp_cost(cp: &Cp, elem_cost: &[usize]) -> usize {
+    match cp {
+        Cp::Name(id) => elem_cost[id.index()],
+        Cp::Seq(cs) => cs.iter().map(|c| cp_cost(c, elem_cost)).fold(0usize, |a, b| {
+            a.saturating_add(b)
+        }),
+        Cp::Choice(cs) => {
+            cs.iter().map(|c| cp_cost(c, elem_cost)).min().unwrap_or(0)
+        }
+        Cp::Opt(_) | Cp::Star(_) => 0,
+        Cp::Plus(c) => cp_cost(c, elem_cost),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtdgen::{DtdGen, DtdGenParams};
+    use pv_dtd::builtin::BuiltinDtd;
+    use pv_dtd::DtdClass;
+    use pv_grammar::validator::validate_document;
+
+    #[test]
+    fn generated_documents_are_valid_for_builtins() {
+        for b in BuiltinDtd::ALL {
+            let analysis = b.analysis();
+            let mut g = DocGen::new(&analysis, 7);
+            for target in [1usize, 10, 100] {
+                let doc = g.generate(target);
+                validate_document(&doc, &analysis.dtd, analysis.root).unwrap_or_else(|e| {
+                    panic!("{} target {target}: {e}\n{}", b.name(), doc.to_xml())
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn generated_documents_are_valid_for_random_dtds() {
+        for class in
+            [DtdClass::NonRecursive, DtdClass::PvWeakRecursive, DtdClass::PvStrongRecursive]
+        {
+            for seed in 0..10 {
+                let analysis =
+                    DtdGen::new(seed, DtdGenParams { class, ..Default::default() }).generate();
+                let mut g = DocGen::new(&analysis, seed);
+                let doc = g.generate(50);
+                validate_document(&doc, &analysis.dtd, analysis.root).unwrap_or_else(|e| {
+                    panic!("class {class:?} seed {seed}: {e}\n{}\n{}", analysis.dtd, doc.to_xml())
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn size_tracks_target() {
+        let analysis = BuiltinDtd::Play.analysis();
+        let mut g = DocGen::new(&analysis, 3);
+        let small = g.generate(10);
+        let large = g.generate(2000);
+        assert!(large.element_count() > small.element_count() * 5);
+        assert!(large.element_count() >= 1000, "{}", large.element_count());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let analysis = BuiltinDtd::TeiLite.analysis();
+        let d1 = DocGen::new(&analysis, 11).generate(60);
+        let d2 = DocGen::new(&analysis, 11).generate(60);
+        assert_eq!(d1.to_xml(), d2.to_xml());
+    }
+
+    #[test]
+    fn recursive_dtds_terminate() {
+        // T1/T2/dissertation have unbounded valid depth; generation must
+        // still terminate quickly.
+        for b in [BuiltinDtd::T1, BuiltinDtd::T2, BuiltinDtd::Dissertation] {
+            let analysis = b.analysis();
+            let mut g = DocGen::new(&analysis, 5);
+            let doc = g.generate(200);
+            validate_document(&doc, &analysis.dtd, analysis.root).unwrap();
+            assert!(doc.document_depth() < 100);
+        }
+    }
+
+    #[test]
+    fn min_cost_reflects_structure() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let costs = compute_min_cost(&analysis.dtd);
+        let id = |n: &str| analysis.id(n).unwrap().index();
+        assert_eq!(costs[id("e")], 1);
+        assert_eq!(costs[id("c")], 1);
+        assert_eq!(costs[id("d")], 1);
+        assert_eq!(costs[id("f")], 3); // f + c + e
+        assert_eq!(costs[id("a")], 3); // a + c + d (b? skipped)
+        assert_eq!(costs[id("r")], 4); // r + a-subtree
+    }
+}

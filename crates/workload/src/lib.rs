@@ -1,0 +1,26 @@
+//! # pv-workload — generators for potential-validity experiments
+//!
+//! The paper evaluates no human data; this crate supplies the synthetic
+//! workloads that exercise the same code paths at controlled scale:
+//!
+//! * [`dtdgen`] — random DTDs with a requested size and recursion class
+//!   (non-recursive / PV-weak / PV-strong), always usable by construction;
+//! * [`docgen`] — random **valid** documents for any DTD via budgeted
+//!   grammar walks (valid ⇒ potentially valid, the base of most property
+//!   tests);
+//! * [`mutate`] — mutation operators: tag-pair deletion (guaranteed
+//!   PV-preserving, Theorem 2), sibling swaps and renames (potential-
+//!   validity breakers for negative workloads);
+//! * [`corpus`] — deterministic realistic documents for the built-in DTD
+//!   corpus (Shakespeare-play, XHTML, TEI) with a target size in tokens;
+//! * [`trace`] — editorial traces: op sequences that rebuild a valid
+//!   document from less-marked-up states, replayable through `pv-editor`.
+
+pub mod corpus;
+pub mod docgen;
+pub mod dtdgen;
+pub mod mutate;
+pub mod trace;
+
+pub use docgen::DocGen;
+pub use dtdgen::{DtdGen, DtdGenParams};

@@ -1,0 +1,464 @@
+//! Structural edit operations on [`Document`].
+//!
+//! These mirror the paper's update taxonomy (Sections 3.2 and 4):
+//!
+//! * **markup insertion** — wrapping a contiguous run of existing children in
+//!   a new element so that the document stays well-formed
+//!   ([`Document::wrap_children`]); this is the only operation needed to
+//!   *extend* a document toward validity (Definition 2),
+//! * **markup deletion** — removing a tag pair and splicing its children into
+//!   the parent ([`Document::unwrap_element`]); preserves potential validity
+//!   (Theorem 2),
+//! * **character data insertion** — creating a new text node
+//!   ([`Document::insert_text`], [`Document::append_text`]),
+//! * **character data update** — changing an existing text node
+//!   ([`Document::update_text`]); preserves potential validity (Theorem 2),
+//! * **character data deletion** ([`Document::delete_text`]).
+//!
+//! All operations keep the arena invariants checked by
+//! [`Document::check_integrity`] and return [`XmlError::edit`] on violated
+//! preconditions rather than panicking, so editor front-ends (`pv-editor`)
+//! can surface the failures.
+
+use crate::error::XmlError;
+use crate::tree::{Attribute, Document, NodeId, NodeKind};
+use crate::Result;
+
+impl Document {
+    fn expect_element(&self, id: NodeId, op: &str) -> Result<()> {
+        if !self.is_alive(id) {
+            return Err(XmlError::edit(format!("{op}: node {id} is not alive")));
+        }
+        if !self.node(id).kind.is_element() {
+            return Err(XmlError::edit(format!("{op}: node {id} is not an element")));
+        }
+        Ok(())
+    }
+
+    /// Appends a new empty element named `name` as the last child of
+    /// `parent`. Returns the new node's id.
+    pub fn append_element(&mut self, parent: NodeId, name: &str) -> Result<NodeId> {
+        self.insert_element(parent, usize::MAX, name)
+    }
+
+    /// Inserts a new empty element at child position `index` of `parent`
+    /// (`usize::MAX` or any out-of-range index appends).
+    pub fn insert_element(&mut self, parent: NodeId, index: usize, name: &str) -> Result<NodeId> {
+        self.expect_element(parent, "insert_element")?;
+        let id = self.alloc(NodeKind::Element { name: name.into(), attrs: Vec::new() });
+        self.node_mut(id).parent = Some(parent);
+        let kids = &mut self.node_mut(parent).children;
+        let at = index.min(kids.len());
+        kids.insert(at, id);
+        Ok(id)
+    }
+
+    /// Appends a text node to `parent`. Returns the new node's id.
+    pub fn append_text(&mut self, parent: NodeId, text: &str) -> Result<NodeId> {
+        self.insert_text(parent, usize::MAX, text)
+    }
+
+    /// Inserts a new text node at child position `index` of `parent`.
+    ///
+    /// This is the paper's *character data insertion* — the update whose
+    /// potential-validity check is O(1) by Proposition 3.
+    pub fn insert_text(&mut self, parent: NodeId, index: usize, text: &str) -> Result<NodeId> {
+        self.expect_element(parent, "insert_text")?;
+        let id = self.alloc(NodeKind::Text(text.to_owned()));
+        self.node_mut(id).parent = Some(parent);
+        let kids = &mut self.node_mut(parent).children;
+        let at = index.min(kids.len());
+        kids.insert(at, id);
+        Ok(id)
+    }
+
+    /// Appends a comment node to `parent`.
+    pub fn append_comment(&mut self, parent: NodeId, text: &str) -> Result<NodeId> {
+        self.expect_element(parent, "append_comment")?;
+        let id = self.alloc(NodeKind::Comment(text.to_owned()));
+        self.node_mut(id).parent = Some(parent);
+        self.node_mut(parent).children.push(id);
+        Ok(id)
+    }
+
+    /// Appends a processing instruction to `parent`.
+    pub fn append_pi(&mut self, parent: NodeId, target: &str, data: &str) -> Result<NodeId> {
+        self.expect_element(parent, "append_pi")?;
+        let id = self.alloc(NodeKind::Pi { target: target.into(), data: data.to_owned() });
+        self.node_mut(id).parent = Some(parent);
+        self.node_mut(parent).children.push(id);
+        Ok(id)
+    }
+
+    /// Replaces the contents of an existing text node — the paper's
+    /// *character data update* (always PV-preserving, Theorem 2).
+    pub fn update_text(&mut self, id: NodeId, text: &str) -> Result<()> {
+        if !self.is_alive(id) {
+            return Err(XmlError::edit(format!("update_text: node {id} is not alive")));
+        }
+        match &mut self.node_mut(id).kind {
+            NodeKind::Text(t) => {
+                t.clear();
+                t.push_str(text);
+                Ok(())
+            }
+            _ => Err(XmlError::edit(format!("update_text: node {id} is not a text node"))),
+        }
+    }
+
+    /// Removes a text node entirely — *character data deletion*.
+    pub fn delete_text(&mut self, id: NodeId) -> Result<()> {
+        if !self.is_alive(id) {
+            return Err(XmlError::edit(format!("delete_text: node {id} is not alive")));
+        }
+        if !self.node(id).kind.is_text() {
+            return Err(XmlError::edit(format!("delete_text: node {id} is not a text node")));
+        }
+        self.detach(id)
+    }
+
+    /// **Markup insertion** (Definition 2): wraps children
+    /// `parent.children[range]` in a new element named `name`, preserving
+    /// order. `range` may be empty (inserting an empty element between
+    /// siblings). Returns the new wrapper element's id.
+    ///
+    /// This is exactly the `w1 <δ> w2 </δ> w3` extension step of the paper:
+    /// `w2` is the wrapped run of children, and well-formedness is preserved
+    /// by construction because a child run is always a balanced span.
+    pub fn wrap_children(
+        &mut self,
+        parent: NodeId,
+        range: std::ops::Range<usize>,
+        name: &str,
+    ) -> Result<NodeId> {
+        self.expect_element(parent, "wrap_children")?;
+        let len = self.children(parent).len();
+        if range.start > range.end || range.end > len {
+            return Err(XmlError::edit(format!(
+                "wrap_children: range {range:?} out of bounds for {len} children"
+            )));
+        }
+        let wrapper = self.alloc(NodeKind::Element { name: name.into(), attrs: Vec::new() });
+        let moved: Vec<NodeId> = self.node(parent).children[range.clone()].to_vec();
+        for &m in &moved {
+            self.node_mut(m).parent = Some(wrapper);
+        }
+        {
+            let w = self.node_mut(wrapper);
+            w.parent = Some(parent);
+            w.children = moved;
+        }
+        let kids = &mut self.node_mut(parent).children;
+        kids.splice(range.clone(), [wrapper]);
+        Ok(wrapper)
+    }
+
+    /// Wraps a *character range* of a text node in a new element: splits the
+    /// text node at `start`/`end` (byte offsets) and wraps the middle part.
+    /// This is the typical "select text, apply tag" gesture of a
+    /// document-centric XML editor (the paper's xTagger reference \[10\]).
+    ///
+    /// Returns `(wrapper, inner_text)` ids.
+    pub fn wrap_text_range(
+        &mut self,
+        text_node: NodeId,
+        start: usize,
+        end: usize,
+        name: &str,
+    ) -> Result<(NodeId, NodeId)> {
+        if !self.is_alive(text_node) {
+            return Err(XmlError::edit("wrap_text_range: node is not alive"));
+        }
+        let (parent, full) = match (&self.node(text_node).parent, &self.node(text_node).kind) {
+            (Some(p), NodeKind::Text(t)) => (*p, t.clone()),
+            (None, _) => return Err(XmlError::edit("wrap_text_range: detached text node")),
+            _ => return Err(XmlError::edit("wrap_text_range: not a text node")),
+        };
+        if start > end || end > full.len() {
+            return Err(XmlError::edit(format!(
+                "wrap_text_range: bad range {start}..{end} for text of length {}",
+                full.len()
+            )));
+        }
+        if !full.is_char_boundary(start) || !full.is_char_boundary(end) {
+            return Err(XmlError::edit("wrap_text_range: offsets not on char boundaries"));
+        }
+        let idx = self
+            .child_index(text_node)
+            .ok_or_else(|| XmlError::edit("wrap_text_range: node not in parent"))?;
+
+        let (before, rest) = full.split_at(start);
+        let (middle, after) = rest.split_at(end - start);
+        let (before, middle, after) =
+            (before.to_owned(), middle.to_owned(), after.to_owned());
+
+        // Reuse `text_node` for the leading part (or drop it if empty).
+        let mut insert_at = idx;
+        if before.is_empty() {
+            self.detach(text_node)?;
+        } else {
+            self.update_text(text_node, &before)?;
+            insert_at += 1;
+        }
+        let wrapper = self.insert_element(parent, insert_at, name)?;
+        let inner = self.append_text(wrapper, &middle)?;
+        if !after.is_empty() {
+            self.insert_text(parent, insert_at + 1, &after)?;
+        }
+        Ok((wrapper, inner))
+    }
+
+    /// **Markup deletion** (Theorem 2): removes element `id`'s start/end
+    /// tags, splicing its children into its parent at its position. The
+    /// element node itself is tombstoned. Fails on the root (the paper keeps
+    /// the root fixed: `root(w) = r`).
+    pub fn unwrap_element(&mut self, id: NodeId) -> Result<()> {
+        self.expect_element(id, "unwrap_element")?;
+        let parent = self
+            .parent(id)
+            .ok_or_else(|| XmlError::edit("unwrap_element: cannot unwrap the root"))?;
+        let idx = self
+            .child_index(id)
+            .ok_or_else(|| XmlError::edit("unwrap_element: node not in parent"))?;
+        let moved = std::mem::take(&mut self.node_mut(id).children);
+        for &m in &moved {
+            self.node_mut(m).parent = Some(parent);
+        }
+        self.node_mut(parent).children.splice(idx..=idx, moved);
+        let n = self.node_mut(id);
+        n.dead = true;
+        n.parent = None;
+        Ok(())
+    }
+
+    /// Removes the whole subtree rooted at `id` (element with all its
+    /// descendants, or a single non-element node).
+    pub fn remove_subtree(&mut self, id: NodeId) -> Result<()> {
+        if !self.is_alive(id) {
+            return Err(XmlError::edit("remove_subtree: node is not alive"));
+        }
+        if id == self.root {
+            return Err(XmlError::edit("remove_subtree: cannot remove the root"));
+        }
+        let subtree: Vec<NodeId> = self.descendants(id).collect();
+        self.detach(id)?;
+        for n in subtree {
+            let node = self.node_mut(n);
+            node.dead = true;
+            node.parent = None;
+            node.children.clear();
+        }
+        Ok(())
+    }
+
+    /// Detaches `id` from its parent and tombstones it (children untouched —
+    /// callers handle them). Internal helper.
+    fn detach(&mut self, id: NodeId) -> Result<()> {
+        let parent = self
+            .parent(id)
+            .ok_or_else(|| XmlError::edit("detach: node has no parent"))?;
+        let idx = self
+            .child_index(id)
+            .ok_or_else(|| XmlError::edit("detach: node not in parent"))?;
+        self.node_mut(parent).children.remove(idx);
+        let n = self.node_mut(id);
+        n.dead = true;
+        n.parent = None;
+        Ok(())
+    }
+
+    /// Swaps the positions of two children of `parent`. Unlike the
+    /// PV-preserving operations above, reordering can break potential
+    /// validity — callers must re-check (used by mutation workloads).
+    pub fn swap_siblings(&mut self, parent: NodeId, a: NodeId, b: NodeId) -> Result<()> {
+        self.expect_element(parent, "swap_siblings")?;
+        let kids = &self.node(parent).children;
+        let ia = kids.iter().position(|&c| c == a);
+        let ib = kids.iter().position(|&c| c == b);
+        match (ia, ib) {
+            (Some(ia), Some(ib)) => {
+                self.node_mut(parent).children.swap(ia, ib);
+                Ok(())
+            }
+            _ => Err(XmlError::edit("swap_siblings: nodes are not children of parent")),
+        }
+    }
+
+    /// Sets an attribute on an element (replacing an existing one of the
+    /// same name).
+    pub fn set_attribute(&mut self, id: NodeId, name: &str, value: &str) -> Result<()> {
+        self.expect_element(id, "set_attribute")?;
+        if let NodeKind::Element { attrs, .. } = &mut self.node_mut(id).kind {
+            if let Some(a) = attrs.iter_mut().find(|a| &*a.name == name) {
+                a.value = value.to_owned();
+            } else {
+                attrs.push(Attribute { name: name.into(), value: value.to_owned() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Renames an element. Note that renaming is **not** one of the paper's
+    /// PV-preserving operations; `pv-editor` re-checks after a rename.
+    pub fn rename_element(&mut self, id: NodeId, name: &str) -> Result<()> {
+        self.expect_element(id, "rename_element")?;
+        if let NodeKind::Element { name: n, .. } = &mut self.node_mut(id).kind {
+            *n = name.into();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_children_moves_range() {
+        // <r>a b c d</r> -> wrap [1..3) in <x>
+        let mut d = Document::new("r");
+        let kids: Vec<NodeId> =
+            ["a", "b", "c", "dd"].iter().map(|n| d.append_element(d.root(), n).unwrap()).collect();
+        let x = d.wrap_children(d.root(), 1..3, "x").unwrap();
+        assert_eq!(d.children(d.root()), &[kids[0], x, kids[3]]);
+        assert_eq!(d.children(x), &[kids[1], kids[2]]);
+        assert_eq!(d.parent(kids[1]), Some(x));
+        d.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn wrap_empty_range_inserts_empty_element() {
+        let mut d = Document::new("r");
+        let a = d.append_element(d.root(), "a").unwrap();
+        let x = d.wrap_children(d.root(), 0..0, "x").unwrap();
+        assert_eq!(d.children(d.root()), &[x, a]);
+        assert!(d.children(x).is_empty());
+        d.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn wrap_rejects_bad_range() {
+        let mut d = Document::new("r");
+        assert!(d.wrap_children(d.root(), 0..1, "x").is_err());
+    }
+
+    #[test]
+    fn unwrap_splices_children_back() {
+        let mut d = Document::new("r");
+        let a = d.append_element(d.root(), "a").unwrap();
+        let x = d.wrap_children(d.root(), 0..1, "x").unwrap();
+        d.unwrap_element(x).unwrap();
+        assert_eq!(d.children(d.root()), &[a]);
+        assert_eq!(d.parent(a), Some(d.root()));
+        assert!(!d.is_alive(x));
+        d.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn wrap_then_unwrap_is_identity_on_structure() {
+        let mut d = Document::new("r");
+        for n in ["a", "b", "c"] {
+            d.append_element(d.root(), n).unwrap();
+        }
+        let before: Vec<NodeId> = d.children(d.root()).to_vec();
+        let x = d.wrap_children(d.root(), 0..3, "x").unwrap();
+        d.unwrap_element(x).unwrap();
+        assert_eq!(d.children(d.root()), &before[..]);
+    }
+
+    #[test]
+    fn unwrap_root_fails() {
+        let mut d = Document::new("r");
+        assert!(d.unwrap_element(d.root()).is_err());
+    }
+
+    #[test]
+    fn wrap_text_range_splits_text() {
+        let mut d = Document::new("r");
+        let t = d.append_text(d.root(), "hello world").unwrap();
+        let (w, inner) = d.wrap_text_range(t, 6, 11, "em").unwrap();
+        assert_eq!(d.text(inner), Some("world"));
+        assert_eq!(d.name(w), Some("em"));
+        assert_eq!(d.content(d.root()), "hello world");
+        assert_eq!(d.children(d.root()).len(), 2); // "hello " + <em>
+        d.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn wrap_text_range_whole_text_replaces_node() {
+        let mut d = Document::new("r");
+        let t = d.append_text(d.root(), "abc").unwrap();
+        let (w, _) = d.wrap_text_range(t, 0, 3, "em").unwrap();
+        assert_eq!(d.children(d.root()), &[w]);
+        assert!(!d.is_alive(t));
+        d.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn wrap_text_range_middle_creates_three_parts() {
+        let mut d = Document::new("r");
+        let t = d.append_text(d.root(), "abcdef").unwrap();
+        d.wrap_text_range(t, 2, 4, "em").unwrap();
+        assert_eq!(d.children(d.root()).len(), 3);
+        assert_eq!(d.content(d.root()), "abcdef");
+        d.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn update_text_changes_content() {
+        let mut d = Document::new("r");
+        let t = d.append_text(d.root(), "old").unwrap();
+        d.update_text(t, "new").unwrap();
+        assert_eq!(d.text(t), Some("new"));
+    }
+
+    #[test]
+    fn update_text_on_element_fails() {
+        let mut d = Document::new("r");
+        let a = d.append_element(d.root(), "a").unwrap();
+        assert!(d.update_text(a, "x").is_err());
+    }
+
+    #[test]
+    fn delete_text_removes_node() {
+        let mut d = Document::new("r");
+        let t = d.append_text(d.root(), "x").unwrap();
+        d.delete_text(t).unwrap();
+        assert!(d.children(d.root()).is_empty());
+        assert!(!d.is_alive(t));
+        d.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn remove_subtree_tombstones_descendants() {
+        let mut d = Document::new("r");
+        let a = d.append_element(d.root(), "a").unwrap();
+        let b = d.append_element(a, "b").unwrap();
+        d.remove_subtree(a).unwrap();
+        assert!(!d.is_alive(a));
+        assert!(!d.is_alive(b));
+        assert!(d.children(d.root()).is_empty());
+        d.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn set_attribute_replaces() {
+        let mut d = Document::new("r");
+        d.set_attribute(d.root(), "id", "1").unwrap();
+        d.set_attribute(d.root(), "id", "2").unwrap();
+        if let NodeKind::Element { attrs, .. } = &d.node(d.root()).kind {
+            assert_eq!(attrs.len(), 1);
+            assert_eq!(attrs[0].value, "2");
+        } else {
+            panic!("root not element");
+        }
+    }
+
+    #[test]
+    fn rename_changes_name() {
+        let mut d = Document::new("r");
+        let a = d.append_element(d.root(), "a").unwrap();
+        d.rename_element(a, "z").unwrap();
+        assert_eq!(d.name(a), Some("z"));
+    }
+}

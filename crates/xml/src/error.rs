@@ -1,0 +1,82 @@
+//! Error types for XML parsing and document editing.
+
+use std::fmt;
+
+/// The category of an [`XmlError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A byte or token that is not legal at this position.
+    Unexpected(String),
+    /// An end tag did not match the innermost open start tag.
+    MismatchedTag { open: String, close: String },
+    /// A close tag appeared with no matching open tag.
+    UnopenedTag(String),
+    /// The document ended while elements were still open.
+    UnclosedTag(String),
+    /// An XML name was empty or contained an illegal character.
+    InvalidName(String),
+    /// A character or entity reference could not be resolved.
+    InvalidReference(String),
+    /// Something other than whitespace/comments/PIs at the top level,
+    /// or more than one root element.
+    TrailingContent,
+    /// The document has no root element.
+    NoRootElement,
+    /// An attribute name occurred twice on the same start tag.
+    DuplicateAttribute(String),
+    /// An edit operation referenced a node that does not satisfy its
+    /// preconditions (wrong kind, detached, out-of-range indices, …).
+    InvalidEdit(String),
+}
+
+/// An error produced by the parser or by a structural edit.
+///
+/// Carries the byte offset into the original input where the problem was
+/// detected (0 for edit errors, which are not tied to source text).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// What went wrong.
+    pub kind: XmlErrorKind,
+    /// Byte offset in the source where the error was detected.
+    pub offset: usize,
+}
+
+impl XmlError {
+    /// Creates an error at the given byte offset.
+    pub fn new(kind: XmlErrorKind, offset: usize) -> Self {
+        XmlError { kind, offset }
+    }
+
+    /// Creates an edit error (no source offset).
+    pub fn edit(msg: impl Into<String>) -> Self {
+        XmlError { kind: XmlErrorKind::InvalidEdit(msg.into()), offset: 0 }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlErrorKind::Unexpected(what) => write!(f, "unexpected {what}"),
+            XmlErrorKind::MismatchedTag { open, close } => {
+                write!(f, "end tag </{close}> does not match start tag <{open}>")
+            }
+            XmlErrorKind::UnopenedTag(name) => write!(f, "end tag </{name}> has no start tag"),
+            XmlErrorKind::UnclosedTag(name) => write!(f, "start tag <{name}> is never closed"),
+            XmlErrorKind::InvalidName(name) => write!(f, "invalid XML name {name:?}"),
+            XmlErrorKind::InvalidReference(r) => write!(f, "invalid reference &{r};"),
+            XmlErrorKind::TrailingContent => write!(f, "content after the root element"),
+            XmlErrorKind::NoRootElement => write!(f, "document has no root element"),
+            XmlErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+            XmlErrorKind::InvalidEdit(msg) => write!(f, "invalid edit: {msg}"),
+        }?;
+        if self.offset != 0 {
+            write!(f, " (at byte {})", self.offset)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for XmlError {}

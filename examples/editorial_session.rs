@@ -1,0 +1,81 @@
+//! Editorial session: marking up a digital-library transcription under a
+//! TEI-like DTD, with every edit guarded by incremental potential-validity
+//! checks — the paper's motivating xTagger workflow.
+//!
+//! The editor starts from the raw text of a (public-domain) passage, adds
+//! structure outside-in, makes a mistake that the guard rejects, and ends
+//! with a valid document.
+//!
+//! Run with: `cargo run --example editorial_session`
+
+use potential_validity::prelude::*;
+
+const PASSAGE: &str = "Call me Ishmael. Some years ago, never mind how long precisely, \
+having little or no money in my purse, I thought I would sail about a little.";
+
+fn main() {
+    let analysis = BuiltinDtd::TeiLite.analysis();
+    let mut session = EditorSession::blank(&analysis);
+    let root = session.document().root();
+
+    println!("== opening blank <TEI> buffer; pasting transcription ==");
+    // Raw text straight under <TEI> — far from valid, but potentially so.
+    let text = session.insert_text(root, 0, PASSAGE).unwrap();
+    report(&session, "paste transcription");
+
+    // What could wrap the pasted text right now?
+    let mut palette = session.allowed_wraps(root, 0..1);
+    palette.sort();
+    println!("tag palette for the selection: {palette:?}");
+
+    // Structure outside-in: text → body → div → p.
+    let textel = session.insert_markup(root, 0..1, "text").unwrap();
+    let body = session.insert_markup(textel, 0..1, "body").unwrap();
+    let div = session.insert_markup(body, 0..1, "div").unwrap();
+    let _p = session.insert_markup(div, 0..1, "p").unwrap();
+    report(&session, "wrap text/body/div/p");
+
+    // Tag the name "Ishmael" inside the paragraph.
+    let p = session.document().children(div)[0];
+    let t = session.document().children(p)[0];
+    assert_eq!(t, text, "the pasted text node is still the same node");
+    let start = PASSAGE.find("Ishmael").unwrap();
+    session.wrap_text(t, start, start + "Ishmael".len(), "name").unwrap();
+    report(&session, "tag <name>Ishmael</name>");
+
+    // A slip of the palette: trying to wrap prose in <lb/> (EMPTY) — the
+    // guard rejects it and rolls back.
+    let tail = session.document().children(p)[2];
+    match session.wrap_text(tail, 0, 5, "lb") {
+        Err(EditError::WouldBreakPv(v)) => println!("rejected as expected: {v}"),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    report(&session, "rejected <lb> wrap (rolled back)");
+
+    // Finish the header so the document becomes fully valid.
+    let header = session.insert_markup(root, 0..0, "teiHeader").unwrap();
+    let fd = session.insert_markup(header, 0..0, "fileDesc").unwrap();
+    let ts = session.insert_markup(fd, 0..0, "titleStmt").unwrap();
+    let title = session.insert_markup(ts, 0..0, "title").unwrap();
+    session.insert_text(title, 0, "Moby-Dick; or, The Whale (extract)").unwrap();
+    report(&session, "add teiHeader/fileDesc/titleStmt/title");
+
+    let doc = session.document();
+    match validate_document(doc, &analysis.dtd, analysis.root) {
+        Ok(()) => println!("document is now fully VALID"),
+        Err(e) => println!("document still invalid ({e}) — but always potentially valid"),
+    }
+    println!("\nfinal document:\n{}", doc.to_xml());
+
+    let st = session.stats();
+    println!(
+        "\nsession stats: {} applied, {} rejected; {} O(1) guards, {} ECPV guards, \
+         {} recognizer symbol steps",
+        st.applied, st.rejected, st.constant_time_guards, st.ecpv_guards, st.recognizer.symbols
+    );
+}
+
+fn report(session: &EditorSession<'_>, step: &str) {
+    assert!(session.verify_invariant(), "PV invariant lost after: {step}");
+    println!("[ok] {step} (document stays potentially valid)");
+}

@@ -1,0 +1,64 @@
+//! XHTML inline markup: the introduction's motivating aside.
+//!
+//! The paper notes that XHTML lets `<b>` and `<i>` nest arbitrarily —
+//! recursive element types — even though encodings like `<i><b><i>` are
+//! rare in practice. This is *PV-weak* recursion (through mixed-content
+//! star-groups), so the recognizer needs no depth bound.
+//!
+//! The example checks a partially marked-up page after every simulated
+//! keystroke batch and shows the incremental costs.
+//!
+//! Run with: `cargo run --example xhtml_inline`
+
+use potential_validity::prelude::*;
+
+fn main() {
+    let analysis = BuiltinDtd::XhtmlBasic.analysis();
+    println!("xhtml-basic class: {} (no depth bound needed)\n", analysis.rec.class);
+
+    let mut session = EditorSession::blank(&analysis);
+    let root = session.document().root();
+
+    // Body first, head later — document-centric editing is rarely in
+    // document order.
+    let body = session.insert_markup(root, 0..0, "body").unwrap();
+    let p = session.insert_markup(body, 0..0, "p").unwrap();
+    let t = session.insert_text(p, 0, "nested bold and italic and bold again").unwrap();
+
+    // Pile up inline nesting: b > i > b — legal XHTML, weakly recursive.
+    let (s0, e0) = span("nested bold and italic and bold again", "bold and italic and bold");
+    let b = session.wrap_text(t, s0, e0, "b").unwrap();
+    let inner_text = session.document().children(b)[0];
+    let (s1, e1) = span("bold and italic and bold", "and italic and");
+    let i = session.wrap_text(inner_text, s1, e1, "i").unwrap();
+    let inner2 = session.document().children(i)[0];
+    let (s2, e2) = span("and italic and", "italic");
+    session.wrap_text(inner2, s2, e2, "b").unwrap();
+    println!("after <b><i><b> nesting:\n  {}", session.document().to_xml());
+    assert!(session.verify_invariant());
+
+    // Block misuse is caught: a list item cannot live inside a paragraph.
+    let ul_attempt = session.insert_markup(p, 0..1, "li");
+    println!("\nwrapping paragraph content in <li>: {:?}", ul_attempt.err().map(|e| e.to_string()));
+
+    // Finish the page.
+    let head = session.insert_markup(root, 0..0, "head").unwrap();
+    let title = session.insert_markup(head, 0..0, "title").unwrap();
+    session.insert_text(title, 0, "Potential validity").unwrap();
+
+    let ok = validate_document(session.document(), &analysis.dtd, analysis.root).is_ok();
+    println!("\nfully valid now: {ok}");
+    println!("final:\n{}", session.document().to_xml());
+
+    let st = session.stats();
+    println!(
+        "\nstats: applied={} rejected={} ecpv_guards={} recognizer_symbols={}",
+        st.applied, st.rejected, st.ecpv_guards, st.recognizer.symbols
+    );
+}
+
+/// Byte span of `needle` within `hay`.
+fn span(hay: &str, needle: &str) -> (usize, usize) {
+    let s = hay.find(needle).expect("needle present");
+    (s, s + needle.len())
+}

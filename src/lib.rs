@@ -1,0 +1,54 @@
+//! # potential-validity — umbrella crate
+//!
+//! A complete Rust implementation of Iacob, Dekhtyar & Dekhtyar,
+//! *On Potential Validity of Document-Centric XML Documents* (ICDE 2006):
+//! linear-time checking of whether an in-progress XML document can still be
+//! completed into a valid one by inserting markup only.
+//!
+//! This crate re-exports the whole workspace:
+//!
+//! * [`xml`] ([`pv_xml`]) — XML parser, arena DOM, serializer, edit ops;
+//! * [`dtd`] ([`pv_dtd`]) — DTD parser, normalization, reachability,
+//!   recursion classification, built-in DTD corpus;
+//! * [`grammar`] ([`pv_grammar`]) — the validity/PV grammars, standard
+//!   validator, Earley baseline, extension witnesses, brute-force oracle;
+//! * [`core`] ([`pv_core`]) — the paper's contribution: `δ_T`/`Δ_T`,
+//!   the per-element DAG model, the ECRecognizer, whole-document and
+//!   incremental potential-validity checking;
+//! * [`workload`] ([`pv_workload`]) — random DTD/document/trace generators;
+//! * [`editor`] ([`pv_editor`]) — always-potentially-valid editing
+//!   sessions.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use potential_validity::prelude::*;
+//!
+//! // Compile a DTD (the paper's Figure 1) once…
+//! let analysis = BuiltinDtd::Figure1.analysis();
+//! let checker = PvChecker::new(&analysis);
+//!
+//! // …and check in-progress documents in linear time.
+//! let doc = pv_xml::parse("<r><a><b>A quick brown</b> fox</a></r>").unwrap();
+//! assert!(checker.check_document(&doc).is_potentially_valid());
+//! ```
+
+pub use pv_core as core;
+pub use pv_dtd as dtd;
+pub use pv_editor as editor;
+pub use pv_grammar as grammar;
+pub use pv_workload as workload;
+pub use pv_xml as xml;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use pv_core::checker::{PvChecker, PvOutcome, PvViolation};
+    pub use pv_core::depth::DepthPolicy;
+    pub use pv_core::token::{ChildSym, Tok, Tokens};
+    pub use pv_dtd::builtin::BuiltinDtd;
+    pub use pv_dtd::{Dtd, DtdAnalysis, DtdClass};
+    pub use pv_editor::{EditError, EditorSession};
+    pub use pv_grammar::validator::validate_document;
+    pub use pv_grammar::witness::{complete_document, complete_tokens};
+    pub use pv_xml::{parse, Document, NodeId};
+}

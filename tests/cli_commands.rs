@@ -1,0 +1,111 @@
+//! End-to-end tests of the `pvx` command implementations against
+//! on-disk-style inputs (documents carrying their DTD in the internal
+//! subset — the self-contained file format the tool is built around).
+
+use pv_cli::{cmd_check, cmd_classify, cmd_complete, cmd_lint, cmd_validate, resolve_dtd, Status};
+use pv_core::depth::DepthPolicy;
+
+const FIG1_SUBSET: &str = "
+<!ELEMENT r (a+)><!ELEMENT a (b?, (c | f), d)><!ELEMENT b (d | f)>
+<!ELEMENT c (#PCDATA)><!ELEMENT d (#PCDATA | e)*><!ELEMENT e EMPTY><!ELEMENT f (c, e)>
+";
+
+fn doc_with_subset(body: &str) -> pv_xml::Document {
+    pv_xml::parse(&format!("<!DOCTYPE r [{FIG1_SUBSET}]>\n{body}")).unwrap()
+}
+
+#[test]
+fn check_via_internal_subset() {
+    let doc = doc_with_subset("<r><a><b>x</b><c>y</c> dog<e/></a></r>");
+    let ctx = resolve_dtd(None, None, None, Some(&doc)).unwrap();
+    assert_eq!(ctx.source, "internal subset");
+    let (report, status) = cmd_check(&ctx, "s.xml", &doc, DepthPolicy::Auto);
+    assert_eq!(status, Status::Ok);
+    assert!(report.contains("POTENTIALLY VALID"));
+    assert!(report.contains("non-recursive"));
+}
+
+#[test]
+fn check_failure_names_the_symbol() {
+    let doc = doc_with_subset("<r><a><b>x</b><e/><c>y</c></a></r>");
+    let ctx = resolve_dtd(None, None, None, Some(&doc)).unwrap();
+    let (report, status) = cmd_check(&ctx, "w.xml", &doc, DepthPolicy::Auto);
+    assert_eq!(status, Status::Failed);
+    assert!(report.contains("<c>"), "{report}");
+    assert!(report.contains("deletion or renaming"), "{report}");
+}
+
+#[test]
+fn validate_and_complete_pipeline() {
+    // An in-progress file: invalid, potentially valid, completable.
+    let doc = doc_with_subset("<r><a><b>x</b><c>y</c> dog<e/></a></r>");
+    let ctx = resolve_dtd(None, None, None, Some(&doc)).unwrap();
+    assert_eq!(cmd_validate(&ctx, "f", &doc, false).1, Status::Failed);
+    let (report, status) = cmd_complete(&ctx, "f", &doc);
+    assert_eq!(status, Status::Ok);
+    assert!(report.contains("completed document:"), "{report}");
+    // The completed document inside the report must itself validate.
+    let completed_xml = report.lines().last().unwrap();
+    let completed = pv_xml::parse(completed_xml).unwrap();
+    assert_eq!(cmd_validate(&ctx, "c", &completed, false).1, Status::Ok);
+}
+
+#[test]
+fn explicit_root_respects_usability() {
+    // Re-rooting Figure 1 at `a` makes `r` unreachable and therefore
+    // unusable — the paper's Section 3.3 precondition; the tool refuses
+    // with a precise message rather than checking under broken
+    // assumptions.
+    let doc = pv_xml::parse(&format!(
+        "<!DOCTYPE r [{FIG1_SUBSET}]>\n<a><b>x</b><c>y</c><d/></a>"
+    ))
+    .unwrap();
+    let err = match resolve_dtd(None, Some("a"), None, Some(&doc)) {
+        Err(e) => e,
+        Ok(_) => panic!("expected a usability error"),
+    };
+    assert!(err.contains("unusable"), "{err}");
+
+    // With a DTD trimmed to the fragment, sub-root checking works.
+    let frag_subset = "
+        <!ELEMENT a (b?, (c | f), d)><!ELEMENT b (d | f)>
+        <!ELEMENT c (#PCDATA)><!ELEMENT d (#PCDATA | e)*>
+        <!ELEMENT e EMPTY><!ELEMENT f (c, e)>";
+    let doc = pv_xml::parse(&format!(
+        "<!DOCTYPE a [{frag_subset}]>\n<a><b>x</b><c>y</c><d/></a>"
+    ))
+    .unwrap();
+    let ctx = resolve_dtd(None, None, None, Some(&doc)).unwrap();
+    let (_, status) = cmd_check(&ctx, "frag", &doc, DepthPolicy::Auto);
+    assert_eq!(status, Status::Ok);
+}
+
+#[test]
+fn classify_every_builtin() {
+    for b in pv_dtd::builtin::BuiltinDtd::ALL {
+        let ctx = resolve_dtd(None, None, Some(b.name()), None).unwrap();
+        let (report, status) = cmd_classify(&ctx);
+        assert_eq!(status, Status::Ok, "{}", b.name());
+        assert!(report.contains("class:"), "{report}");
+    }
+}
+
+#[test]
+fn lint_flags_pv_strong_builtins() {
+    for name in ["t1", "t2", "dissertation"] {
+        let ctx = resolve_dtd(None, None, Some(name), None).unwrap();
+        let (report, _) = cmd_lint(&ctx);
+        assert!(report.contains("PV-strong"), "{name}: {report}");
+    }
+}
+
+#[test]
+fn bounded_depth_flag_reaches_the_checker() {
+    let doc = pv_xml::parse(
+        "<!DOCTYPE a [<!ELEMENT a ((a | b), b)><!ELEMENT b EMPTY>]>\n<a><b/><b/><b/></a>",
+    )
+    .unwrap();
+    let ctx = resolve_dtd(None, None, None, Some(&doc)).unwrap();
+    assert_eq!(cmd_check(&ctx, "t", &doc, DepthPolicy::Bounded(0)).1, Status::Failed);
+    assert_eq!(cmd_check(&ctx, "t", &doc, DepthPolicy::Bounded(1)).1, Status::Ok);
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the XML substrate itself: round-trips, edit
+//! algebra, and parser robustness against adversarial input.
+
+use proptest::prelude::*;
+use pv_xml::{parse, Document, NodeId};
+
+/// Strategy: a small random tree program (sequence of build steps).
+fn build_ops() -> impl Strategy<Value = Vec<(u8, u8, String)>> {
+    prop::collection::vec(
+        (0u8..4, any::<u8>(), "[a-z]{0,8}"),
+        0..40,
+    )
+}
+
+/// Applies build steps to a document, always keeping it well-formed.
+fn build(ops: &[(u8, u8, String)]) -> Document {
+    let mut doc = Document::new("root");
+    let mut elements: Vec<NodeId> = vec![doc.root()];
+    for (op, pick, text) in ops {
+        let parent = elements[*pick as usize % elements.len()];
+        match op {
+            0 | 1 => {
+                let name = if text.is_empty() { "x".to_owned() } else { format!("e{text}") };
+                let id = doc.append_element(parent, &name).unwrap();
+                elements.push(id);
+            }
+            2 => {
+                doc.append_text(parent, text).unwrap();
+            }
+            _ => {
+                doc.append_comment(parent, text).unwrap();
+            }
+        }
+    }
+    doc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// parse(serialize(d)) reproduces the serialization exactly
+    /// (serialization is a normal form).
+    #[test]
+    fn serialize_parse_serialize_is_identity(ops in build_ops()) {
+        let doc = build(&ops);
+        let xml = doc.to_xml();
+        let back = parse(&xml).unwrap();
+        prop_assert_eq!(back.to_xml(), xml);
+        back.check_integrity().unwrap();
+    }
+
+    /// Content is preserved through serialization.
+    #[test]
+    fn content_survives_roundtrip(ops in build_ops()) {
+        let doc = build(&ops);
+        let back = parse(&doc.to_xml()).unwrap();
+        prop_assert_eq!(back.content(back.root()), doc.content(doc.root()));
+    }
+
+    /// The parser never panics on arbitrary input — it returns Ok or Err.
+    #[test]
+    fn parser_total_on_arbitrary_input(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// The parser never panics on tag-soup-shaped input either.
+    #[test]
+    fn parser_total_on_tag_soup(parts in prop::collection::vec("(<[a-z]{1,3}>|</[a-z]{1,3}>|[a-z ]{0,5}|<!--x-->|&amp;|&#65;|<[a-z]/>)", 0..30)) {
+        let soup: String = parts.concat();
+        let _ = parse(&soup);
+    }
+
+    /// Any successfully parsed document satisfies the arena invariants and
+    /// serializes without panicking.
+    #[test]
+    fn parsed_documents_are_sound(parts in prop::collection::vec("(<a>|</a>|<b>|</b>|x|<c/>)", 0..24)) {
+        let soup: String = parts.concat();
+        if let Ok(doc) = parse(&soup) {
+            doc.check_integrity().unwrap();
+            let xml = doc.to_xml();
+            let back = parse(&xml).unwrap();
+            prop_assert_eq!(back.to_xml(), xml);
+        }
+    }
+
+    /// wrap_children followed by unwrap_element restores the child list for
+    /// arbitrary trees and ranges.
+    #[test]
+    fn wrap_unwrap_inverse(ops in build_ops(), a in any::<u8>(), b in any::<u8>()) {
+        let mut doc = build(&ops);
+        let before = doc.to_xml();
+        let root = doc.root();
+        let n = doc.children(root).len();
+        let (lo, hi) = {
+            let x = a as usize % (n + 1);
+            let y = b as usize % (n + 1);
+            (x.min(y), x.max(y))
+        };
+        let w = doc.wrap_children(root, lo..hi, "wrapper").unwrap();
+        prop_assert_eq!(doc.children(w).len(), hi - lo);
+        doc.unwrap_element(w).unwrap();
+        prop_assert_eq!(doc.to_xml(), before);
+        doc.check_integrity().unwrap();
+    }
+
+    /// remove_subtree never leaves dangling references.
+    #[test]
+    fn remove_subtree_keeps_invariants(ops in build_ops(), pick in any::<u8>()) {
+        let mut doc = build(&ops);
+        let victims: Vec<NodeId> =
+            doc.elements().filter(|&n| n != doc.root()).collect();
+        if victims.is_empty() {
+            return Ok(());
+        }
+        let victim = victims[pick as usize % victims.len()];
+        doc.remove_subtree(victim).unwrap();
+        doc.check_integrity().unwrap();
+        prop_assert!(!doc.is_alive(victim));
+    }
+
+    /// wrap_text_range preserves overall content for any valid split.
+    #[test]
+    fn wrap_text_range_preserves_content(text in "[a-zA-Z ]{1,20}", a in any::<u8>(), b in any::<u8>()) {
+        let mut doc = Document::new("r");
+        let t = doc.append_text(doc.root(), &text).unwrap();
+        let (lo, hi) = {
+            let x = a as usize % (text.len() + 1);
+            let y = b as usize % (text.len() + 1);
+            (x.min(y), x.max(y))
+        };
+        doc.wrap_text_range(t, lo, hi, "em").unwrap();
+        prop_assert_eq!(doc.content(doc.root()), text);
+        doc.check_integrity().unwrap();
+    }
+}
