@@ -153,20 +153,30 @@ impl<'a> EcRecognizer<'a> {
         !self.dag.is_any && self.active.is_empty()
     }
 
-    /// Total successful speculations allowed while processing one input
-    /// symbol, shared across the whole nested-recognizer tree. Tracking
-    /// *every* speculative alternative is exponential in the depth budget
-    /// on densely recursive DTDs (a blow-up the paper's pseudocode
-    /// shares); the shared budget keeps per-symbol work at
+    /// Baseline for the total speculations allowed while processing one
+    /// input symbol, shared across the whole nested-recognizer tree.
+    /// Tracking *every* speculative alternative is exponential in the
+    /// depth budget on densely recursive DTDs (a blow-up the paper's
+    /// pseudocode shares); the shared budget keeps per-symbol work at
     /// `O(BUDGET · k)` while retaining enough breadth that differential
     /// tests against the exact Earley baseline find no divergence on
-    /// randomized workloads.
+    /// randomized workloads. The effective budget is
+    /// `max(SPEC_BUDGET_PER_SYMBOL, k + 1)` — every finite md value is
+    /// `< k`, so the cheapest *fresh* elision chain (which active-list
+    /// priority explores before costlier fresh siblings) fits whenever the
+    /// round starts with a full budget. Already-committed nested
+    /// recognizers are ordered ahead of fresh speculation and may still
+    /// drain the budget first on densely recursive DTDs; the ROADMAP's
+    /// recognizer-completeness audit tracks that residual case.
     pub const SPEC_BUDGET_PER_SYMBOL: u32 = 32;
 
     /// Figure 5's `validate(x)`: feeds one symbol, returns `true` iff the
     /// content so far is still potentially valid.
     pub fn validate(&mut self, x: ChildSym, stats: &mut RecognizerStats) -> bool {
-        let mut budget = Self::SPEC_BUDGET_PER_SYMBOL;
+        // Every finite md value is < k, so k + 1 always covers the
+        // cheapest elision chain.
+        let k = self.ctx.reach.element_count() as u32;
+        let mut budget = Self::SPEC_BUDGET_PER_SYMBOL.max(k.saturating_add(1));
         self.validate_inner(x, stats, &mut budget)
     }
 
@@ -183,7 +193,7 @@ impl<'a> EcRecognizer<'a> {
             return true;
         }
         let mut result = false;
-        let mut queue = std::mem::take(&mut self.active);
+        let queue = std::mem::take(&mut self.active);
         // Reset generation flags: `cur` marks fresh (sub-less) entries
         // examinable for this symbol, `nxt` marks fresh entries created for
         // the next symbol. Keeping the generations separate is essential:
@@ -196,15 +206,54 @@ impl<'a> EcRecognizer<'a> {
                 self.cur[e.node as usize] = true;
             }
         }
-        // `queue` is processed front-to-back; NoMatch successors are pushed
-        // on the back and examined for the same symbol (cascading skip).
-        let mut qi = 0usize;
+        // Entries are processed cheapest-speculation-first (md-ascending;
+        // non-speculating entries first of all, original order among equal
+        // keys); NoMatch pushes DAG successors, examined for the same
+        // symbol (cascading skip). Priority order matters because the
+        // speculation budget is shared: exploring the md-optimal elision
+        // chain first guarantees it cannot be starved by a costlier
+        // sibling branch burning the budget on a detour (alternation
+        // order in the DTD is arbitrary), which would otherwise make
+        // acceptance non-monotone in the depth bound.
+        // Implementation: entries that cannot open a fresh speculation for
+        // `x` (key 0 — the overwhelmingly common case) flow through a plain
+        // FIFO scan exactly as in the paper; would-be speculators are
+        // parked in `deferred` and drained min-key-first only once no
+        // FIFO work is pending. Both lists are tiny (bounded by the DAG),
+        // so the min scan beats a heap's constants.
+        let mut fifo = queue;
+        let mut deferred: Vec<(u32, Entry<'a>)> = Vec::new();
+        let mut di = 0usize; // deferred entries before this index are spent
         let mut advanced: Vec<Entry<'a>> = Vec::new();
         let mut stayed: Vec<Entry<'a>> = Vec::new();
-        while qi < queue.len() {
+        // Classify the initial generation in place, keeping the original
+        // order on both sides (stable partition). Order is not entirely
+        // free within key 0: fresh key-0 entries consume no budget, but
+        // committed subs (also key 0 — their speculation is already paid
+        // for) can drain the shared budget from *inside* their recursion,
+        // so their relative order must stay deterministic.
+        for entry in fifo.extract_if(.., |e| self.spec_key(e, x) != 0) {
+            let key = self.spec_key(&entry, x);
+            deferred.push((key, entry));
+        }
+        // pop() consumes from the back; reverse so the initial entries are
+        // scanned front-to-back in their original order.
+        fifo.reverse();
+        loop {
+            let mut entry = if let Some(e) = fifo.pop() {
+                e
+            } else {
+                // FIFO drained: take the cheapest remaining speculator.
+                let Some(best) = (di..deferred.len())
+                    .min_by_key(|&j| deferred[j].0)
+                else {
+                    break;
+                };
+                deferred.swap(di, best);
+                di += 1;
+                std::mem::replace(&mut deferred[di - 1], (0, Entry::fresh(u32::MAX))).1
+            };
             stats.node_visits += 1;
-            let mut entry = std::mem::replace(&mut queue[qi], Entry::fresh(u32::MAX));
-            qi += 1;
             let had_sub = entry.sub.is_some();
             let outcome = self.try_match(&mut entry, x, stats, spec_left);
             match outcome {
@@ -231,7 +280,18 @@ impl<'a> EcRecognizer<'a> {
                     for &s in &self.dag.node(entry.node).succs {
                         if !self.cur[s as usize] {
                             self.cur[s as usize] = true;
-                            queue.push(Entry::fresh(s));
+                            let fresh = Entry::fresh(s);
+                            let key = self.spec_key(&fresh, x);
+                            if key == 0 {
+                                // O(1) back-push: popped next (DFS order).
+                                // Safe — cascade successors are sub-less
+                                // and key 0, so they consume no budget and
+                                // their position cannot affect any other
+                                // entry's outcome.
+                                fifo.push(fresh);
+                            } else {
+                                deferred.push((key, fresh));
+                            }
                         }
                     }
                 }
@@ -270,6 +330,32 @@ impl<'a> EcRecognizer<'a> {
             }
         }
         true
+    }
+
+    /// Processing priority of an active entry for symbol `x`: `0` for
+    /// entries that match (or fail) without opening a fresh speculation —
+    /// groups, PCDATA, committed subs, equality-only simple nodes — and
+    /// `1 + md(y, x)` for a fresh simple node that would speculate, so the
+    /// cheapest elision chain is explored before budget can be burnt on
+    /// costlier ones.
+    fn spec_key(&self, entry: &Entry<'a>, x: ChildSym) -> u32 {
+        if entry.sub.is_some() {
+            return 0;
+        }
+        match &self.dag.node(entry.node).kind {
+            DagNodeKind::Group(_) | DagNodeKind::Pcdata => 0,
+            DagNodeKind::Simple(y) => {
+                let need = match x {
+                    ChildSym::Elem(e) => self.ctx.dags.min_elisions(*y, e),
+                    ChildSym::Sigma => self.ctx.dags.min_elisions_sigma(*y),
+                };
+                if need != u32::MAX && need < self.depth {
+                    need.saturating_add(1)
+                } else {
+                    0
+                }
+            }
+        }
     }
 
     fn try_match(

@@ -1,0 +1,162 @@
+//! Offline shim for the subset of the `proptest` crate API this workspace
+//! uses. The workspace builds with no network access, so this path
+//! dependency provides a deterministic property-testing runner with the
+//! same call surface as the real crate:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`],
+//! * strategies: integer ranges, [`Just`], tuples, [`prop_oneof!`],
+//!   [`prop::collection::vec`], [`any`], and `&str` regex patterns
+//!   (generation only — see [`strategy::regex`] for the supported subset),
+//! * [`ProptestConfig`] with a `cases` budget.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports its deterministic seed
+//!   (rerun with `PROPTEST_SEED=<seed>` to reproduce exactly);
+//! * **`PROPTEST_CASES` always wins** — the environment variable overrides
+//!   even per-suite `ProptestConfig { cases: .. }`, so CI can dial total
+//!   test time up or down without touching source.
+
+pub mod runner;
+pub mod strategy;
+
+pub use runner::{run_proptest, ProptestConfig, TestCaseError, TestRng};
+pub use strategy::{any, Any, Arbitrary, Just, Strategy};
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
+    pub use crate::runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Mirrors the real crate's `prop` module re-export (`prop::collection::vec`).
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure the current
+/// case returns an error (with source location) instead of panicking, so
+/// the runner can attach the reproducing seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}:{}: {}",
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discards the current case (counted as a rejection, not a failure) when
+/// its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { cfg = ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( cfg = ($config:expr); ) => {};
+    (
+        cfg = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_proptest(stringify!($name), &config, |__pt_rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut *__pt_rng);)+
+                let mut __pt_case =
+                    move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    };
+                __pt_case()
+            });
+        }
+        $crate::__proptest_impl! { cfg = ($config); $($rest)* }
+    };
+}

@@ -1,0 +1,232 @@
+//! The deterministic case runner behind the [`proptest!`](crate::proptest)
+//! macro: per-case seeded RNG, rejection accounting for
+//! [`prop_assume!`](crate::prop_assume), and failure reports that include
+//! the exact seed needed to replay one case.
+
+use std::time::{Duration, Instant};
+
+/// SplitMix64 — the deterministic RNG all strategies draw from. Each test
+/// case gets a fresh instance seeded from (test name, case index), so any
+/// failure is reproducible in isolation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+}
+
+/// Runner configuration; mirrors the real crate's field-update idiom
+/// (`ProptestConfig { cases: 48, ..ProptestConfig::default() }`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+    /// Give up after this many `prop_assume!` rejections in total.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32, max_global_rejects: 4096 }
+    }
+}
+
+/// Why a case did not pass: a genuine failure or an assumption rejection.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+    is_rejection: bool,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into(), is_rejection: false }
+    }
+
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into(), is_rejection: true }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Executes `one_case` until `cases` successes, a failure, or the
+/// rejection budget runs out.
+///
+/// Environment knobs (all optional):
+/// * `PROPTEST_CASES=n` — overrides every suite's configured case count
+///   (the CI lever keeping `cargo test -q` fast);
+/// * `PROPTEST_SEED=s` — run exactly one case with seed `s` (printed by a
+///   failure report), for reproducing and bisecting.
+pub fn run_proptest<F>(name: &str, config: &ProptestConfig, mut one_case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    if let Some(seed) = env_u64("PROPTEST_SEED") {
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(err) = one_case(&mut rng) {
+            panic!("[{name}] replay of seed {seed:#x} did not pass: {err}");
+        }
+        return;
+    }
+
+    let cases = env_u64("PROPTEST_CASES").map(|n| n as u32).unwrap_or(config.cases);
+    let base = fnv1a(name.as_bytes());
+    let budget = case_time_budget();
+    let started = Instant::now();
+
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case_index = 0u64;
+    while passed < cases {
+        let seed = base.wrapping_add(case_index);
+        let mut rng = TestRng::from_seed(seed);
+        match one_case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(err) if err.is_rejection => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "[{name}] gave up after {rejected} rejections \
+                         ({passed}/{cases} cases passed); last assumption: {err}"
+                    );
+                }
+            }
+            Err(err) => {
+                panic!(
+                    "[{name}] case {case_index} failed (replay with \
+                     PROPTEST_SEED={seed:#x}): {err}"
+                );
+            }
+        }
+        case_index += 1;
+        if started.elapsed() > budget {
+            eprintln!(
+                "[{name}] time budget {budget:?} reached after {passed}/{cases} \
+                 cases ({rejected} rejected); stopping early"
+            );
+            break;
+        }
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    let raw = std::env::var(key).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{key} must be an integer, got {raw:?}"),
+    }
+}
+
+/// Per-property wall-clock cap (default 20 s) so one pathological suite
+/// cannot blow the repo's whole test budget; override with
+/// `PROPTEST_TIME_BUDGET_SECS`.
+fn case_time_budget() -> Duration {
+    Duration::from_secs(env_u64("PROPTEST_TIME_BUDGET_SECS").unwrap_or(20))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_the_requested_number_of_cases() {
+        if std::env::var("PROPTEST_CASES").is_ok() {
+            return; // the override env var deliberately wins over configs
+        }
+        let mut count = 0;
+        let config = ProptestConfig { cases: 17, ..ProptestConfig::default() };
+        run_proptest("counting", &config, |_rng| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn rejections_do_not_count_as_passes() {
+        if std::env::var("PROPTEST_CASES").is_ok() {
+            return; // the override env var deliberately wins over configs
+        }
+        let mut attempts = 0u32;
+        let config = ProptestConfig { cases: 5, ..ProptestConfig::default() };
+        run_proptest("rejecting", &config, |_rng| {
+            attempts += 1;
+            if attempts.is_multiple_of(2) {
+                Err(TestCaseError::reject("every other case"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(attempts >= 9, "5 passes need ≥9 attempts, got {attempts}");
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failures_panic_with_seed() {
+        let config = ProptestConfig::default();
+        run_proptest("failing", &config, |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn seeds_are_deterministic_per_name() {
+        let mut first: Vec<u64> = Vec::new();
+        let config = ProptestConfig { cases: 4, ..ProptestConfig::default() };
+        run_proptest("determinism", &config, |rng| {
+            first.push(rng.next_u64());
+            Ok(())
+        });
+        let mut second: Vec<u64> = Vec::new();
+        run_proptest("determinism", &config, |rng| {
+            second.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,444 @@
+//! Value-generation strategies: the [`Strategy`] trait and the concrete
+//! strategies the workspace's test suites use (integer ranges, [`Just`],
+//! tuples, vectors, unions, [`any`], and regex-pattern strings).
+
+use crate::runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Produces random values of an associated type from the deterministic
+/// test RNG. (Real proptest separates value *trees* for shrinking; this
+/// shim generates plain values — failures reproduce via the case seed.)
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start + (rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range strategy");
+                let span = (hi as u128 - lo as u128 + 1) as u64;
+                lo + (rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// `prop::collection::vec(element, size_range)`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Vectors of values from an element strategy with a length in a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.clone().generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Boxes a strategy for storage in a [`Union`] (used by `prop_oneof!`).
+pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(strategy)
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies of one value type.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        regex::any_char(rng)
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// String literals act as generation-only regex strategies.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+/// A tiny regex *generator* covering the pattern subset the test suites
+/// use: literals, `.`, character classes `[a-z0-9 ]` (ranges and singles),
+/// groups with alternation `(x|y|z)`, escapes `\x`, and the quantifiers
+/// `{n}`, `{m,n}`, `*`, `+`, `?` (unbounded repeats are capped at 8).
+pub mod regex {
+    use crate::runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Lit(char),
+        Dot,
+        Class(Vec<(char, char)>),
+        Group(Vec<Vec<(Atom, Quant)>>),
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum Quant {
+        One,
+        Between(u32, u32),
+    }
+
+    /// Characters `.` draws from: mostly printable ASCII, with a sprinkle
+    /// of awkward Unicode so parser-robustness properties see multi-byte
+    /// input. Never `\n` (as in real regex `.`).
+    pub fn any_char(rng: &mut TestRng) -> char {
+        const EXOTIC: &[char] = &[
+            '\t', '\u{0}', 'é', 'ß', 'λ', 'Ж', '中', '\u{2028}', '🦀', '\u{FFFD}',
+        ];
+        if rng.below(10) < 8 {
+            // Printable ASCII 0x20..=0x7E.
+            char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap()
+        } else {
+            EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+        }
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0usize;
+        let alts = parse_alternation(&chars, &mut pos);
+        assert!(
+            pos == chars.len(),
+            "unsupported regex pattern {pattern:?} (stopped at char {pos})"
+        );
+        let mut out = String::new();
+        emit_alternation(&alts, rng, &mut out);
+        out
+    }
+
+    fn parse_alternation(chars: &[char], pos: &mut usize) -> Vec<Vec<(Atom, Quant)>> {
+        let mut branches = vec![Vec::new()];
+        while *pos < chars.len() {
+            match chars[*pos] {
+                ')' => break,
+                '|' => {
+                    *pos += 1;
+                    branches.push(Vec::new());
+                }
+                _ => {
+                    let atom = parse_atom(chars, pos);
+                    let quant = parse_quant(chars, pos);
+                    branches.last_mut().unwrap().push((atom, quant));
+                }
+            }
+        }
+        branches
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> Atom {
+        let c = chars[*pos];
+        *pos += 1;
+        match c {
+            '.' => Atom::Dot,
+            '\\' => {
+                let escaped = chars[*pos];
+                *pos += 1;
+                Atom::Lit(escaped)
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                while chars[*pos] != ']' {
+                    let lo = if chars[*pos] == '\\' {
+                        *pos += 1;
+                        let e = chars[*pos];
+                        *pos += 1;
+                        e
+                    } else {
+                        let e = chars[*pos];
+                        *pos += 1;
+                        e
+                    };
+                    if chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                        let hi = chars[*pos + 1];
+                        *pos += 2;
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                *pos += 1; // consume ']'
+                Atom::Class(ranges)
+            }
+            '(' => {
+                let inner = parse_alternation(chars, pos);
+                assert!(
+                    *pos < chars.len() && chars[*pos] == ')',
+                    "unclosed group in regex pattern"
+                );
+                *pos += 1;
+                Atom::Group(inner)
+            }
+            lit => Atom::Lit(lit),
+        }
+    }
+
+    fn parse_quant(chars: &[char], pos: &mut usize) -> Quant {
+        if *pos >= chars.len() {
+            return Quant::One;
+        }
+        match chars[*pos] {
+            '*' => {
+                *pos += 1;
+                Quant::Between(0, 8)
+            }
+            '+' => {
+                *pos += 1;
+                Quant::Between(1, 8)
+            }
+            '?' => {
+                *pos += 1;
+                Quant::Between(0, 1)
+            }
+            '{' => {
+                *pos += 1;
+                let mut lo = 0u32;
+                while chars[*pos].is_ascii_digit() {
+                    lo = lo * 10 + chars[*pos].to_digit(10).unwrap();
+                    *pos += 1;
+                }
+                let hi = if chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut hi = 0u32;
+                    while chars[*pos].is_ascii_digit() {
+                        hi = hi * 10 + chars[*pos].to_digit(10).unwrap();
+                        *pos += 1;
+                    }
+                    hi
+                } else {
+                    lo
+                };
+                assert!(chars[*pos] == '}', "malformed {{m,n}} quantifier");
+                *pos += 1;
+                Quant::Between(lo, hi)
+            }
+            _ => Quant::One,
+        }
+    }
+
+    fn emit_alternation(branches: &[Vec<(Atom, Quant)>], rng: &mut TestRng, out: &mut String) {
+        let branch = &branches[rng.below(branches.len() as u64) as usize];
+        for (atom, quant) in branch {
+            let reps = match quant {
+                Quant::One => 1,
+                Quant::Between(lo, hi) => lo + rng.below((hi - lo + 1) as u64) as u32,
+            };
+            for _ in 0..reps {
+                emit_atom(atom, rng, out);
+            }
+        }
+    }
+
+    fn emit_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+        match atom {
+            Atom::Lit(c) => out.push(*c),
+            Atom::Dot => out.push(any_char(rng)),
+            Atom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                let span = hi as u32 - lo as u32 + 1;
+                let c = char::from_u32(lo as u32 + rng.below(span as u64) as u32)
+                    .unwrap_or(lo);
+                out.push(c);
+            }
+            Atom::Group(branches) => emit_alternation(branches, rng, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(0xfeed)
+    }
+
+    #[test]
+    fn ranges_and_just_and_tuples() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (0u8..4).generate(&mut r);
+            assert!(v < 4);
+            let w = (3usize..=5).generate(&mut r);
+            assert!((3..=5).contains(&w));
+            let (a, b) = ((0u8..2), Just(7i32)).generate(&mut r);
+            assert!(a < 2 && b == 7);
+        }
+    }
+
+    #[test]
+    fn vec_respects_size() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = vec(0u8..10, 2..6).generate(&mut r);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_shapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{1,3}".generate(&mut r);
+            assert!((1..=3).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+
+            let t = "(<a>|</b>|x)".generate(&mut r);
+            assert!(["<a>", "</b>", "x"].contains(&t.as_str()), "{t:?}");
+
+            let d = ".{0,5}".generate(&mut r);
+            assert!(d.chars().count() <= 5, "{d:?}");
+            assert!(!d.contains('\n'));
+
+            let e = "a\\.b?c*".generate(&mut r);
+            assert!(e.starts_with("a.") && !e.contains('\\'), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn union_picks_every_option_eventually() {
+        let mut r = rng();
+        let u = Union::new(vec![boxed(Just(1u8)), boxed(Just(2u8)), boxed(Just(3u8))]);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[u.generate(&mut r) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+}
