@@ -18,7 +18,16 @@ use pv_xml::Document;
 
 /// All table names understood by [`run_table`].
 pub fn all_tables() -> &'static [&'static str] {
-    &["examples", "scaling-n", "scaling-k", "depth", "incremental", "classes", "real-dtds"]
+    &[
+        "examples",
+        "scaling-n",
+        "scaling-k",
+        "depth",
+        "incremental",
+        "classes",
+        "real-dtds",
+        "parallel",
+    ]
 }
 
 /// Runs one table by name, printing markdown to stdout.
@@ -31,6 +40,7 @@ pub fn run_table(name: &str) {
         "incremental" => table_incremental(),
         "classes" => table_classes(),
         "real-dtds" => table_real_dtds(),
+        "parallel" => table_parallel(),
         other => eprintln!("unknown table {other:?}; known: {:?}", all_tables()),
     }
 }
@@ -363,13 +373,72 @@ fn table_real_dtds() {
     println!();
 }
 
+/// X7 — parallel sharded checking (the pv-par work-stealing pool).
+fn table_parallel() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("## Table X7 — parallel sharded checking (work-stealing pool, play DTD)\n");
+    println!(
+        "host CPUs available: {cores} — speedup is overhead-bounded once jobs exceed this\n"
+    );
+    println!("| workload | jobs | time | speedup vs jobs=1 | outcome identical |");
+    println!("|---|---|---|---|---|");
+
+    let analysis = BuiltinDtd::Play.analysis();
+    let checker = PvChecker::new(&analysis);
+
+    // One large in-progress document, sharded per element node (same
+    // workload as the parallel_scaling bench — see crate::workloads).
+    let doc = crate::workloads::parallel_doc();
+    let n = Tokens::delta(&doc, doc.root(), &analysis.dtd).unwrap().len();
+    let seq = checker.check_document(&doc);
+    let t_seq = median(5, || {
+        std::hint::black_box(checker.check_document(&doc).is_potentially_valid());
+    });
+    for jobs in crate::workloads::PARALLEL_JOBS {
+        let out = checker.check_document_parallel(&doc, jobs);
+        let t = median(5, || {
+            std::hint::black_box(checker.check_document_parallel(&doc, jobs));
+        });
+        println!(
+            "| 1 doc × {n} tokens | {jobs} | {} | {:.2}× | {} |",
+            fmt_dur(t),
+            t_seq.as_secs_f64() / t.as_secs_f64().max(f64::EPSILON),
+            out == seq
+        );
+    }
+
+    // A batch of irregular documents, sharded per document.
+    let docs = crate::workloads::parallel_batch();
+    let total: usize = docs.iter().map(|d| d.element_count()).sum();
+    let expect: Vec<_> = docs.iter().map(|d| checker.check_document(d)).collect();
+    let t_batch_seq = median(5, || {
+        std::hint::black_box(checker.check_batch(&docs, 1).len());
+    });
+    for jobs in crate::workloads::PARALLEL_JOBS {
+        let outs = checker.check_batch(&docs, jobs);
+        let t = median(5, || {
+            std::hint::black_box(checker.check_batch(&docs, jobs).len());
+        });
+        println!(
+            "| {} docs × ~{} elements | {jobs} | {} | {:.2}× | {} |",
+            docs.len(),
+            total / docs.len(),
+            fmt_dur(t),
+            t_batch_seq.as_secs_f64() / t.as_secs_f64().max(f64::EPSILON),
+            outs == expect
+        );
+    }
+    println!();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn table_names_resolve() {
-        assert_eq!(all_tables().len(), 7);
+        assert_eq!(all_tables().len(), 8);
+        assert!(all_tables().contains(&"parallel"));
     }
 
     #[test]

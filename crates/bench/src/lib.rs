@@ -16,11 +16,21 @@
 //! * `experiments --table incremental` — per-operation costs of the
 //!   editing guards (claim X4, Theorem 2 + Proposition 3);
 //! * `experiments --table classes` — DTD classes at fixed size (claim X5);
-//! * `experiments --table real-dtds` — realistic corpora (claim X6).
+//! * `experiments --table real-dtds` — realistic corpora (claim X6);
+//! * `experiments --table parallel` — sharded checking on the pv-par
+//!   work-stealing pool: per-node sharding of one large document and
+//!   per-document sharding of a batch, with speedup vs. the sequential
+//!   checker and an outcome-identity column (claim X7 — this
+//!   reproduction's own addition; the paper is purely sequential).
 //!
-//! The same workloads back the Criterion benches under `benches/`.
+//! The same workloads back the Criterion benches under `benches/`
+//! (including `parallel_scaling`). Set `BENCH_JSON=path` while running
+//! `cargo bench` to also append machine-readable results to a JSON file —
+//! the repository's `BENCH_*.json` baselines are captured that way (see
+//! BENCHMARKS.md at the repo root).
 
 pub mod experiments;
 pub mod timing;
+pub mod workloads;
 
 pub use experiments::{all_tables, run_table};

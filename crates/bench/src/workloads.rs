@@ -1,0 +1,45 @@
+//! Canonical workloads shared by the criterion benches and the
+//! `experiments` tables, so the checked-in `BENCH_*.json` baselines and
+//! the printed claim tables always measure **the same thing** — retuning
+//! a workload here retunes both consumers at once.
+
+use pv_dtd::builtin::BuiltinDtd;
+use pv_workload::corpus;
+use pv_workload::mutate::Mutator;
+use pv_xml::Document;
+
+/// Worker counts swept by the parallel bench and table X7.
+pub const PARALLEL_JOBS: [usize; 4] = [1, 2, 4, 8];
+
+/// The per-node sharding workload: one large in-progress play document
+/// (~10k target elements → ~24k δ tokens, 20% of the markup stripped).
+pub fn parallel_doc() -> Document {
+    let mut doc = corpus::play(10_000);
+    Mutator::new(7).delete_random_markup(&mut doc, 2_000);
+    doc
+}
+
+/// The per-document sharding workload: 24 play documents with sizes
+/// jittered over `[400, 1200)` elements (irregular on purpose — equal
+/// documents would never make a worker steal).
+pub fn parallel_batch() -> Vec<Document> {
+    corpus::batch(BuiltinDtd::Play, 24, 800).expect("play has a corpus builder")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = parallel_doc();
+        let b = parallel_doc();
+        assert_eq!(a.element_count(), b.element_count());
+        let batch = parallel_batch();
+        assert_eq!(batch.len(), 24);
+        assert_eq!(
+            batch.iter().map(|d| d.element_count()).sum::<usize>(),
+            parallel_batch().iter().map(|d| d.element_count()).sum::<usize>(),
+        );
+    }
+}

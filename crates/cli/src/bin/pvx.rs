@@ -9,7 +9,7 @@ const USAGE: &str = "\
 pvx — potential validity of document-centric XML (ICDE 2006)
 
 USAGE:
-  pvx check    [--dtd FILE --root NAME | --builtin NAME] [--depth N] DOC.xml...
+  pvx check    [--dtd FILE --root NAME | --builtin NAME] [--depth N] [--jobs N] DOC.xml...
   pvx validate [--dtd FILE --root NAME | --builtin NAME] [--ignore-whitespace] DOC.xml...
   pvx complete [--dtd FILE --root NAME | --builtin NAME] DOC.xml
   pvx classify (--dtd FILE --root NAME | --builtin NAME)
@@ -19,6 +19,10 @@ Without --dtd/--builtin, documents must carry an internal DTD subset
 (<!DOCTYPE root [ ... ]>). Builtins: figure1, t1, t2, xhtml-basic,
 tei-lite, play, docbook-like, dissertation.
 
+--jobs N shards the per-node checks of `check` over N worker threads
+(0 = one per CPU; default 1 = sequential). The verdict and the
+diagnosis are identical at any job count.
+
 EXIT CODES: 0 ok / potentially valid · 1 check failed · 2 usage or parse error";
 
 struct Args {
@@ -27,6 +31,7 @@ struct Args {
     root: Option<String>,
     builtin: Option<String>,
     depth: Option<u32>,
+    jobs: usize,
     ignore_whitespace: bool,
     docs: Vec<String>,
 }
@@ -40,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         builtin: None,
         depth: None,
+        jobs: 1,
         ignore_whitespace: false,
         docs: Vec::new(),
     };
@@ -54,6 +60,10 @@ fn parse_args() -> Result<Args, String> {
             "--depth" => {
                 let v = need_value(&mut argv, "--depth")?;
                 args.depth = Some(v.parse().map_err(|_| format!("bad --depth {v:?}"))?);
+            }
+            "--jobs" => {
+                let v = need_value(&mut argv, "--jobs")?;
+                args.jobs = v.parse().map_err(|_| format!("bad --jobs {v:?}"))?;
             }
             "--ignore-whitespace" => args.ignore_whitespace = true,
             "--help" | "-h" => {
@@ -151,7 +161,7 @@ fn main() {
                     None => DepthPolicy::Auto,
                 };
                 let (report, status) = match args.command.as_str() {
-                    "check" => cmd_check(&ctx, path, &doc, depth),
+                    "check" => cmd_check(&ctx, path, &doc, depth, args.jobs),
                     "validate" => cmd_validate(&ctx, path, &doc, args.ignore_whitespace),
                     _ => cmd_complete(&ctx, path, &doc),
                 };

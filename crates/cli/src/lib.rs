@@ -109,10 +109,18 @@ pub fn resolve_dtd(
 }
 
 /// `pvx check`: potential validity with diagnosis. Returns the report text
-/// and status.
-pub fn cmd_check(ctx: &DtdContext, name: &str, doc: &Document, depth: DepthPolicy) -> (String, Status) {
+/// and status. `jobs` shards the per-node recognizer runs over that many
+/// worker threads (`1` = sequential, `0` = one per available CPU); the
+/// verdict and diagnosis are bit-identical at any setting.
+pub fn cmd_check(
+    ctx: &DtdContext,
+    name: &str,
+    doc: &Document,
+    depth: DepthPolicy,
+    jobs: usize,
+) -> (String, Status) {
     let checker = PvChecker::with_policy(&ctx.analysis, depth);
-    let out = checker.check_document(doc);
+    let out = checker.check_document_parallel(doc, jobs);
     let mut report = String::new();
     match &out.violation {
         None => {
@@ -299,14 +307,28 @@ mod tests {
     fn check_reports_both_ways() {
         let ctx = fig1_ctx();
         let s = pv_xml::parse("<r><a><b>x</b><c>y</c> z<e/></a></r>").unwrap();
-        let (rep, st) = cmd_check(&ctx, "s", &s, DepthPolicy::Auto);
+        let (rep, st) = cmd_check(&ctx, "s", &s, DepthPolicy::Auto, 1);
         assert_eq!(st, Status::Ok);
         assert!(rep.contains("POTENTIALLY VALID"));
         let w = pv_xml::parse("<r><a><b>x</b><e/><c>y</c></a></r>").unwrap();
-        let (rep, st) = cmd_check(&ctx, "w", &w, DepthPolicy::Auto);
+        let (rep, st) = cmd_check(&ctx, "w", &w, DepthPolicy::Auto, 1);
         assert_eq!(st, Status::Failed);
         assert!(rep.contains("NOT potentially valid"));
         assert!(rep.contains("<c>"));
+    }
+
+    #[test]
+    fn check_reports_identically_at_any_job_count() {
+        let ctx = fig1_ctx();
+        let s = pv_xml::parse("<r><a><b>x</b><c>y</c> z<e/></a></r>").unwrap();
+        let w = pv_xml::parse("<r><a><b>x</b><e/><c>y</c></a></r>").unwrap();
+        for doc in [&s, &w] {
+            let (rep1, st1) = cmd_check(&ctx, "d", doc, DepthPolicy::Auto, 1);
+            for jobs in [0usize, 2, 8] {
+                let (rep, st) = cmd_check(&ctx, "d", doc, DepthPolicy::Auto, jobs);
+                assert_eq!((rep, st), (rep1.clone(), st1), "jobs={jobs}");
+            }
+        }
     }
 
     #[test]

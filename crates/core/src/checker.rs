@@ -13,6 +13,7 @@ use crate::token::{ChildSym, Tokens};
 use pv_dtd::DtdAnalysis;
 use pv_xml::{Document, NodeId};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Why a document failed the potential-validity check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -127,22 +128,29 @@ impl<'a> PvChecker<'a> {
         self.depth
     }
 
+    /// Definition 3's root condition `root(w) = r`, shared verbatim by the
+    /// sequential and parallel document checks (the bit-identity guarantee
+    /// between them depends on both using exactly this).
+    fn check_root(&self, doc: &Document) -> Option<PvViolation> {
+        let root_name = doc.name(doc.root()).unwrap_or("");
+        if self.analysis.id(root_name) != Some(self.analysis.root) {
+            return Some(PvViolation {
+                node: doc.root(),
+                kind: PvViolationKind::RootMismatch {
+                    found: root_name.to_owned(),
+                    expected: self.analysis.name(self.analysis.root).to_owned(),
+                },
+            });
+        }
+        None
+    }
+
     /// Checks Problem PV for the whole document.
     pub fn check_document(&self, doc: &Document) -> PvOutcome {
         let mut stats = RecognizerStats::default();
         // Root element type must match r.
-        let root_name = doc.name(doc.root()).unwrap_or("");
-        if self.analysis.id(root_name) != Some(self.analysis.root) {
-            return PvOutcome {
-                violation: Some(PvViolation {
-                    node: doc.root(),
-                    kind: PvViolationKind::RootMismatch {
-                        found: root_name.to_owned(),
-                        expected: self.analysis.name(self.analysis.root).to_owned(),
-                    },
-                }),
-                stats,
-            };
+        if let Some(v) = self.check_root(doc) {
+            return PvOutcome { violation: Some(v), stats };
         }
         for node in doc.elements() {
             if let Some(v) = self.check_node(doc, node, &mut stats) {
@@ -150,6 +158,80 @@ impl<'a> PvChecker<'a> {
             }
         }
         PvOutcome { violation: None, stats }
+    }
+
+    /// Checks Problem PV with per-element-node recognizer runs sharded
+    /// over `jobs` worker threads (`0` = one per available CPU).
+    ///
+    /// Element nodes are independent ECPV instances (paper Section 4), so
+    /// they are distributed over a work-stealing pool ([`pv_par`]) and the
+    /// per-node results are **reduced in document order**: the returned
+    /// [`PvOutcome`] — the violation (first failing node in document
+    /// order, same node, same symbol index) *and* the work counters — is
+    /// bit-identical to [`PvChecker::check_document`]'s, regardless of
+    /// worker count or scheduling. Counter identity holds because
+    /// sequential stats are a prefix sum of per-node stats and
+    /// [`RecognizerStats::merge`] is commutative: the reduction folds
+    /// exactly the nodes the sequential checker would have visited.
+    ///
+    /// On an already-failing document, workers that observe a known
+    /// violation skip nodes *after* it (the known first-failure index only
+    /// ever moves earlier, so no node at or before the final first failure
+    /// is ever skipped); a potentially valid document gets no such
+    /// shortcut and every node is checked, just as sequentially.
+    ///
+    /// `jobs <= 1` delegates to the sequential checker outright.
+    pub fn check_document_parallel(&self, doc: &Document, jobs: usize) -> PvOutcome {
+        let jobs = pv_par::effective_jobs(jobs);
+        if jobs <= 1 {
+            return self.check_document(doc);
+        }
+        // Root check first, exactly as in the sequential path.
+        if let Some(v) = self.check_root(doc) {
+            return PvOutcome { violation: Some(v), stats: RecognizerStats::default() };
+        }
+        let nodes: Vec<NodeId> = doc.elements().collect();
+        // Earliest node index known to carry a violation; only ever
+        // decreases, so nodes at or before the final minimum are never
+        // pruned and their per-node results are always computed.
+        let first_bad = AtomicUsize::new(usize::MAX);
+        let per_node = pv_par::map_indexed(jobs, nodes.len(), |i| {
+            if i > first_bad.load(Ordering::Relaxed) {
+                return None; // after a known violation: result unreachable
+            }
+            let mut stats = RecognizerStats::default();
+            let violation = self.check_node(doc, nodes[i], &mut stats);
+            if violation.is_some() {
+                first_bad.fetch_min(i, Ordering::Relaxed);
+            }
+            Some((violation, stats))
+        });
+        // Deterministic reduction in document order.
+        let mut stats = RecognizerStats::default();
+        for entry in per_node {
+            let (violation, node_stats) =
+                entry.expect("nodes up to the first violation are never pruned");
+            stats.merge(&node_stats);
+            if violation.is_some() {
+                return PvOutcome { violation, stats };
+            }
+        }
+        PvOutcome { violation: None, stats }
+    }
+
+    /// Checks a batch of documents against this DTD on `jobs` worker
+    /// threads (`0` = one per available CPU), returning one outcome per
+    /// document in input order.
+    ///
+    /// Sharding is per **document** (each worker runs the sequential
+    /// [`PvChecker::check_document`] on whole documents, with idle workers
+    /// stealing documents from busy ones), which is the right granularity
+    /// for corpus workloads where documents outnumber cores; outcome `i`
+    /// is therefore trivially identical to `check_document(&docs[i])`.
+    /// For one huge document use [`PvChecker::check_document_parallel`],
+    /// which shards *within* the document.
+    pub fn check_batch(&self, docs: &[Document], jobs: usize) -> Vec<PvOutcome> {
+        pv_par::map(jobs, docs, |doc| self.check_document(doc))
     }
 
     /// Checks Problem ECPV for a single node's content (used by the
@@ -337,6 +419,65 @@ mod tests {
         let out = check(BuiltinDtd::Figure1, S);
         assert!(out.stats.symbols >= 4);
         assert!(out.stats.node_visits > 0);
+    }
+
+    /// A mid-sized document exercising many nodes: valid shape repeated.
+    fn wide_doc(reps: usize, poison: bool) -> Document {
+        let mut xml = String::from("<r>");
+        for i in 0..reps {
+            if poison && i == reps / 2 {
+                // <e> must be EMPTY: an unfixable violation mid-document.
+                xml.push_str("<a><b/><e>boom</e></a>");
+            } else {
+                xml.push_str("<a><b/><c>text</c><d/></a>");
+            }
+        }
+        xml.push_str("</r>");
+        pv_xml::parse(&xml).unwrap()
+    }
+
+    #[test]
+    fn parallel_outcome_bit_identical_on_valid_docs() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let checker = PvChecker::new(&analysis);
+        for doc in [pv_xml::parse(S).unwrap(), wide_doc(60, false)] {
+            let seq = checker.check_document(&doc);
+            assert!(seq.is_potentially_valid());
+            for jobs in [1usize, 2, 3, 8] {
+                assert_eq!(checker.check_document_parallel(&doc, jobs), seq, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_outcome_bit_identical_on_failing_docs() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let checker = PvChecker::new(&analysis);
+        for doc in [
+            pv_xml::parse(W).unwrap(),
+            wide_doc(60, true),
+            pv_xml::parse("<a><b/></a>").unwrap(), // root mismatch
+            pv_xml::parse("<r><zzz/></r>").unwrap(), // undeclared element
+        ] {
+            let seq = checker.check_document(&doc);
+            assert!(!seq.is_potentially_valid());
+            for jobs in [1usize, 2, 3, 8] {
+                assert_eq!(checker.check_document_parallel(&doc, jobs), seq, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_document_checks() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let checker = PvChecker::new(&analysis);
+        let docs: Vec<Document> =
+            (0..12).map(|i| wide_doc(10 + i, i % 3 == 0)).collect();
+        let expect: Vec<PvOutcome> = docs.iter().map(|d| checker.check_document(d)).collect();
+        for jobs in [0usize, 1, 2, 8] {
+            assert_eq!(checker.check_batch(&docs, jobs), expect, "jobs={jobs}");
+        }
+        assert!(checker.check_batch(&[], 4).is_empty());
     }
 
     #[test]

@@ -63,6 +63,8 @@
 //! assert!(!checker.check_document(&w).is_potentially_valid());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod checker;
 pub mod dag;
 pub mod depth;

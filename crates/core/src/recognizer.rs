@@ -89,6 +89,18 @@ pub struct RecognizerStats {
     pub subs_created: u64,
 }
 
+impl RecognizerStats {
+    /// Accumulates another counter set into this one. Addition is
+    /// commutative and associative, so merging per-node stats in document
+    /// order reproduces the sequential checker's totals exactly — the
+    /// property the parallel checker's deterministic reduction relies on.
+    pub fn merge(&mut self, other: &RecognizerStats) {
+        self.symbols += other.symbols;
+        self.node_visits += other.node_visits;
+        self.subs_created += other.subs_created;
+    }
+}
+
 /// One active DAG position, optionally carrying an in-progress nested
 /// recognizer for an elided element.
 struct Entry<'a> {

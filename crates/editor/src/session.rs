@@ -67,17 +67,41 @@ pub struct EditorSession<'a> {
     doc: Document,
     undo: Vec<Document>,
     stats: SessionStats,
+    /// Worker threads for full-document re-checks (1 = sequential,
+    /// 0 = one per CPU). Incremental guards are O(1)/two-node and always
+    /// run inline regardless of this setting.
+    jobs: usize,
 }
 
 impl<'a> EditorSession<'a> {
     /// Opens a session on `doc`; fails unless the document is potentially
     /// valid (the invariant the session maintains thereafter).
     pub fn open(analysis: &'a DtdAnalysis, doc: Document) -> Result<Self, EditError> {
+        Self::open_with_jobs(analysis, doc, 1)
+    }
+
+    /// [`EditorSession::open`] with the opening full-document check — and
+    /// every later full re-check — sharded over `jobs` worker threads
+    /// (`0` = one per available CPU). Parallel and sequential checks
+    /// return bit-identical outcomes, so the accepted/rejected behaviour
+    /// of the session is unchanged; only the wall-clock of whole-document
+    /// scans on large buffers is.
+    pub fn open_with_jobs(
+        analysis: &'a DtdAnalysis,
+        doc: Document,
+        jobs: usize,
+    ) -> Result<Self, EditError> {
         let checker = PvChecker::new(analysis);
-        let outcome = checker.check_document(&doc);
+        let outcome = checker.check_document_parallel(&doc, jobs);
         match outcome.violation {
             Some(v) => Err(EditError::NotPotentiallyValid(v)),
-            None => Ok(EditorSession { checker, doc, undo: Vec::new(), stats: SessionStats::default() }),
+            None => Ok(EditorSession {
+                checker,
+                doc,
+                undo: Vec::new(),
+                stats: SessionStats::default(),
+                jobs,
+            }),
         }
     }
 
@@ -89,7 +113,20 @@ impl<'a> EditorSession<'a> {
             doc,
             undo: Vec::new(),
             stats: SessionStats::default(),
+            jobs: 1,
         }
+    }
+
+    /// Sets the worker-thread count for full-document re-checks
+    /// (`1` = sequential, `0` = one per available CPU).
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs;
+    }
+
+    /// The configured full-re-check worker count.
+    #[inline]
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// The current document.
@@ -294,9 +331,10 @@ impl<'a> EditorSession<'a> {
     }
 
     /// Re-checks the whole document (should always hold — exposed for
-    /// tests and defensive callers).
+    /// tests and defensive callers). Runs on the session's configured
+    /// [`EditorSession::jobs`] worker threads.
     pub fn verify_invariant(&self) -> bool {
-        self.checker.check_document(&self.doc).is_potentially_valid()
+        self.checker.check_document_parallel(&self.doc, self.jobs).is_potentially_valid()
     }
 
     // --- internals --------------------------------------------------------
@@ -322,9 +360,7 @@ impl<'a> EditorSession<'a> {
     }
 
     fn absorb(&mut self, s: RecognizerStats) {
-        self.stats.recognizer.symbols += s.symbols;
-        self.stats.recognizer.node_visits += s.node_visits;
-        self.stats.recognizer.subs_created += s.subs_created;
+        self.stats.recognizer.merge(&s);
     }
 }
 
@@ -338,6 +374,37 @@ mod tests {
         let analysis = BuiltinDtd::Figure1.analysis();
         let s = EditorSession::blank(&analysis);
         assert!(s.verify_invariant());
+    }
+
+    #[test]
+    fn parallel_sessions_behave_like_sequential_ones() {
+        let analysis = BuiltinDtd::XhtmlBasic.analysis();
+        let xml = "<html><body><p>Hello <b>bold</b> world</p>\
+                   <ul><li>one</li><li>two</li></ul></body></html>";
+        let doc = pv_xml::parse(xml).unwrap();
+        let mut s = EditorSession::open_with_jobs(&analysis, doc, 4).unwrap();
+        assert_eq!(s.jobs(), 4);
+        assert!(s.verify_invariant());
+        s.set_jobs(0); // auto: one worker per CPU
+        assert!(s.verify_invariant());
+        // The guard verdicts are unchanged by the jobs setting.
+        let body = s
+            .document()
+            .elements()
+            .find(|&n| s.document().name(n) == Some("body"))
+            .unwrap();
+        // <br> is EMPTY — it can never absorb the wrapped children.
+        assert!(matches!(
+            s.insert_markup(body, 0..2, "br"),
+            Err(EditError::WouldBreakPv(_))
+        ));
+        assert!(s.verify_invariant());
+        // Rejection at open is identical too.
+        let bad = pv_xml::parse("<html><body><p><li>nope</li></p></body></html>").unwrap();
+        assert!(matches!(
+            EditorSession::open_with_jobs(&analysis, bad, 8),
+            Err(EditError::NotPotentiallyValid(_))
+        ));
     }
 
     #[test]

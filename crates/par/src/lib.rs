@@ -1,0 +1,225 @@
+//! # pv-par — scoped work-stealing parallelism for the PV stack
+//!
+//! The potential-validity check is embarrassingly parallel: Problem PV runs
+//! one independent ECPV recognizer per element node (paper Section 4), and
+//! a corpus check runs one independent Problem PV per document. This crate
+//! supplies the **only** parallelism primitive the workspace needs to
+//! exploit that — a deterministic parallel map over a finite batch of
+//! tasks — built from scratch on `std::thread::scope` (no rayon; the
+//! workspace builds fully offline and never adds a registry dependency).
+//!
+//! ## Design
+//!
+//! * **Per-worker deques + stealing** (the `queue` internals): task indices
+//!   are pre-seeded as contiguous blocks, owners pop from the front of
+//!   their own deque, idle workers steal from the back of a victim's.
+//!   Contiguous blocks keep an owner's tasks cache-local (adjacent document
+//!   nodes); back-stealing takes the work the owner would reach last, so
+//!   owner and thief rarely contend on the same lock.
+//! * **Scoped spawn**: workers are `std::thread::scope` threads, so task
+//!   closures may borrow the checker, the DTD analysis, and the documents
+//!   directly — no `Arc`, no `'static` bounds, no cloning of inputs.
+//! * **Deterministic result join**: each worker tags results with their
+//!   task index; the caller receives `Vec<R>` in **task order** regardless
+//!   of which worker ran what when. Reductions that depend on order (the
+//!   checker's first-failing-node-in-document-order rule) stay exact.
+//! * **Panic transparency**: a panicking task propagates to the caller
+//!   after all workers have been joined, like the sequential loop would.
+//!
+//! ## Quick start
+//!
+//! ```
+//! // Square 0..100 on 4 workers; results come back in index order.
+//! let squares = pv_par::map_indexed(4, 100, |i| i * i);
+//! assert_eq!(squares[7], 49);
+//!
+//! // Borrowing inputs needs no Arc — spawn is scoped.
+//! let words = ["potential", "validity"];
+//! let lens = pv_par::map(2, &words, |w| w.len());
+//! assert_eq!(lens, vec![9, 8]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod queue;
+
+use queue::StealQueues;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Resolves a `jobs` request to a worker count: `0` means "one worker per
+/// available CPU" (`std::thread::available_parallelism`, falling back to 1
+/// when the OS will not say); any other value is taken literally.
+///
+/// Every `jobs` parameter in the workspace (`PvChecker::
+/// check_document_parallel`, `pvx --jobs`, …) funnels through this.
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested != 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Work distribution counters for one parallel region, for tests and
+/// benchmarks that want to see the stealing actually happen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks executed by each worker (summing to the region's task count).
+    pub executed_per_worker: Vec<u64>,
+    /// Successful steals (tasks a worker took from another's deque).
+    pub steals: u64,
+}
+
+/// Parallel map over the index range `0..len`: runs `f(i)` for every `i`
+/// on `jobs` workers (see [`effective_jobs`]) and returns the results in
+/// index order.
+///
+/// `jobs <= 1` (or a region of at most one task) degenerates to the plain
+/// sequential loop on the calling thread — same results, zero threads.
+pub fn map_indexed<R, F>(jobs: usize, len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    map_indexed_stats(jobs, len, f).0
+}
+
+/// [`map_indexed`], also reporting how the work spread over the workers.
+pub fn map_indexed_stats<R, F>(jobs: usize, len: usize, f: F) -> (Vec<R>, PoolStats)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = effective_jobs(jobs).min(len.max(1));
+    if workers <= 1 {
+        let out: Vec<R> = (0..len).map(&f).collect();
+        return (out, PoolStats { executed_per_worker: vec![len as u64], steals: 0 });
+    }
+
+    let queues = StealQueues::split(workers, len);
+    let steals = AtomicU64::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(len);
+    slots.resize_with(len, || None);
+    let mut executed = vec![0u64; workers];
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queues = &queues;
+                let steals = &steals;
+                let f = &f;
+                s.spawn(move || {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    while let Some(i) = queues.next(w, steals) {
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for (w, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(pairs) => {
+                    executed[w] = pairs.len() as u64;
+                    for (i, r) in pairs {
+                        debug_assert!(slots[i].is_none(), "task {i} executed twice");
+                        slots[i] = Some(r);
+                    }
+                }
+                // Propagate the task's panic; `thread::scope` has already
+                // joined (or will join) the remaining workers.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    let out: Vec<R> =
+        slots.into_iter().map(|r| r.expect("every task index executed exactly once")).collect();
+    (out, PoolStats { executed_per_worker: executed, steals: steals.load(Ordering::Relaxed) })
+}
+
+/// Parallel map over a slice: `map(jobs, items, f)[i] == f(&items[i])`,
+/// computed on `jobs` workers. See [`map_indexed`] for the semantics.
+pub fn map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_indexed(jobs, items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn matches_sequential_for_all_job_counts() {
+        let expect: Vec<usize> = (0..257).map(|i| i * 3 + 1).collect();
+        for jobs in [0, 1, 2, 3, 8, 300] {
+            assert_eq!(map_indexed(jobs, 257, |i| i * 3 + 1), expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_regions() {
+        assert_eq!(map_indexed(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(8, 1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn slice_map_borrows_without_arc() {
+        let items = vec!["a".to_owned(), "bb".to_owned(), "ccc".to_owned()];
+        assert_eq!(map(2, &items, |s| s.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        map_indexed(4, 500, |i| counters[i].fetch_add(1, Ordering::Relaxed));
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn unbalanced_load_triggers_stealing() {
+        // The first worker's whole block is slow; the rest are instant.
+        // Even on a single-CPU host the OS interleaves the workers, so the
+        // fast ones drain their blocks and then steal from the slow one.
+        let (out, stats) = map_indexed_stats(4, 64, |i| {
+            if i < 16 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        assert_eq!(stats.executed_per_worker.iter().sum::<u64>(), 64);
+        assert!(stats.steals > 0, "expected steals, got {stats:?}");
+    }
+
+    #[test]
+    fn workers_capped_by_task_count() {
+        let (_, stats) = map_indexed_stats(16, 3, |i| i);
+        assert_eq!(stats.executed_per_worker.len(), 3);
+    }
+
+    #[test]
+    fn effective_jobs_resolution() {
+        assert_eq!(effective_jobs(5), 5);
+        assert!(effective_jobs(0) >= 1);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            map_indexed(4, 32, |i| {
+                if i == 17 {
+                    panic!("boom at 17");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

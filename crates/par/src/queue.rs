@@ -1,0 +1,99 @@
+//! Per-worker task deques with stealing.
+//!
+//! Every task index is seeded up front into one worker's deque (contiguous
+//! blocks, so a worker's own work is cache-local and document-order
+//! adjacent). Owners pop from the **front** of their deque; thieves pop
+//! from the **back** of a victim's, so a steal takes the work the owner
+//! would reach last. Because no task ever enqueues another task, deques
+//! only shrink — one full failed scan over all deques therefore proves
+//! global completion, which keeps termination detection trivial (no
+//! sleeping/waking protocol is needed for this finite-batch pool).
+//!
+//! The deques are `Mutex<VecDeque<usize>>`, not lock-free ring buffers:
+//! the workspace forbids `unsafe`, and one uncontended lock per ~µs-scale
+//! recognizer task is noise in practice (the `parallel_scaling` bench
+//! measures the end-to-end overhead).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The shared task queues of one parallel region.
+pub(crate) struct StealQueues {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealQueues {
+    /// Seeds `len` task indices into `workers` deques as contiguous,
+    /// balanced blocks (`len mod workers` leading deques get one extra).
+    pub(crate) fn split(workers: usize, len: usize) -> Self {
+        debug_assert!(workers > 0);
+        let base = len / workers;
+        let extra = len % workers;
+        let mut deques = Vec::with_capacity(workers);
+        let mut next = 0usize;
+        for w in 0..workers {
+            let take = base + usize::from(w < extra);
+            deques.push(Mutex::new((next..next + take).collect()));
+            next += take;
+        }
+        debug_assert_eq!(next, len);
+        StealQueues { deques }
+    }
+
+    /// The next task for worker `w`: its own front, else a steal from the
+    /// back of the first non-empty victim (scanning round-robin from
+    /// `w + 1`). `None` means every deque is empty — and since deques only
+    /// shrink, that is a stable state: the region is done.
+    pub(crate) fn next(&self, w: usize, steals: &AtomicU64) -> Option<usize> {
+        if let Some(i) = self.deques[w].lock().unwrap().pop_front() {
+            return Some(i);
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (w + off) % n;
+            if let Some(i) = self.deques[victim].lock().unwrap().pop_back() {
+                steals.fetch_add(1, Ordering::Relaxed);
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_balanced_and_complete() {
+        let q = StealQueues::split(3, 10);
+        let sizes: Vec<usize> = q.deques.iter().map(|d| d.lock().unwrap().len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        let mut all: Vec<usize> =
+            q.deques.iter().flat_map(|d| d.lock().unwrap().iter().copied().collect::<Vec<_>>()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn owner_drains_front_thief_drains_back() {
+        let q = StealQueues::split(2, 4); // deque 0: [0,1], deque 1: [2,3]
+        let steals = AtomicU64::new(0);
+        assert_eq!(q.next(0, &steals), Some(0)); // own front
+        assert_eq!(q.next(1, &steals), Some(2));
+        assert_eq!(q.next(1, &steals), Some(3));
+        assert_eq!(q.next(1, &steals), Some(1)); // stolen from 0's back
+        assert_eq!(steals.load(Ordering::Relaxed), 1);
+        assert_eq!(q.next(0, &steals), None);
+    }
+
+    #[test]
+    fn empty_region_terminates_immediately() {
+        let q = StealQueues::split(4, 0);
+        let steals = AtomicU64::new(0);
+        for w in 0..4 {
+            assert_eq!(q.next(w, &steals), None);
+        }
+    }
+}

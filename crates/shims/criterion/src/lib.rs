@@ -11,6 +11,15 @@
 //! [`BenchmarkGroup::finish`], [`Bencher::iter`], [`BenchmarkId::new`],
 //! [`Throughput::Elements`] / [`Throughput::Bytes`], [`black_box`], and the
 //! [`criterion_group!`] / [`criterion_main!`] macros (both forms).
+//!
+//! Beyond real criterion: when the `BENCH_JSON` environment variable names
+//! a file, every reported benchmark also appends one JSON object to the
+//! JSON array in that file (creating it on first use) — `group`, `id`,
+//! `median_ns`/`mean_ns`/`min_ns`/`max_ns`, `samples`, `iters_per_sample`
+//! and the declared throughput. The checked-in `BENCH_*.json` baselines
+//! are captured through this hook (procedure: BENCHMARKS.md at the repo
+//! root). Bench binaries run sequentially under `cargo bench`, so the
+//! read-modify-write append needs no file locking.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -199,7 +208,89 @@ impl BenchmarkGroup<'_> {
             }
         }
         println!("{line}");
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if !path.is_empty() {
+                let summary = Summary { median, mean, min, max };
+                let record = json_record(&self.name, &id.label(), b, &summary, self.throughput);
+                if let Err(e) = append_json_record(&path, &record) {
+                    eprintln!("BENCH_JSON: cannot write {path}: {e}");
+                }
+            }
+        }
     }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// benchmark names are ASCII identifiers, but stay correct regardless.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The order statistics of one benchmark's samples.
+struct Summary {
+    median: Duration,
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+fn json_record(
+    group: &str,
+    id: &str,
+    b: &Bencher,
+    s: &Summary,
+    throughput: Option<Throughput>,
+) -> String {
+    let tp = match throughput {
+        Some(Throughput::Elements(n)) => format!(",\"throughput\":{{\"elements\":{n}}}"),
+        Some(Throughput::Bytes(n)) => format!(",\"throughput\":{{\"bytes\":{n}}}"),
+        None => String::new(),
+    };
+    format!(
+        "{{\"group\":\"{}\",\"id\":\"{}\",\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\
+         \"max_ns\":{},\"samples\":{},\"iters_per_sample\":{}{tp}}}",
+        json_escape(group),
+        json_escape(id),
+        s.median.as_nanos(),
+        s.mean.as_nanos(),
+        s.min.as_nanos(),
+        s.max.as_nanos(),
+        b.samples.len(),
+        b.iters_per_sample,
+    )
+}
+
+/// Appends one record to the JSON array in `path`, creating the file (as
+/// `[record]`) when absent or empty. The file is rewritten whole; bench
+/// binaries run one after another under `cargo bench`, so there is no
+/// concurrent writer.
+fn append_json_record(path: &str, record: &str) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let body = existing.trim_end();
+    let new = match body.strip_suffix(']') {
+        None if body.is_empty() => format!("[\n{record}\n]\n"),
+        None => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "BENCH_JSON file exists but is not a JSON array",
+            ))
+        }
+        Some(prefix) => {
+            let prefix = prefix.trim_end();
+            let sep = if prefix.ends_with('[') { "" } else { "," };
+            format!("{prefix}{sep}\n{record}\n]\n")
+        }
+    };
+    std::fs::write(path, new)
 }
 
 /// Top-level benchmark driver and configuration.
@@ -274,6 +365,42 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_append_builds_a_valid_array() {
+        let path = std::env::temp_dir().join(format!("bench_json_test_{}.json", std::process::id()));
+        let path = path.to_str().unwrap().to_owned();
+        let _ = std::fs::remove_file(&path);
+        append_json_record(&path, "{\"group\":\"g\",\"id\":\"a\"}").unwrap();
+        append_json_record(&path, "{\"group\":\"g\",\"id\":\"b\"}").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "[\n{\"group\":\"g\",\"id\":\"a\"},\n{\"group\":\"g\",\"id\":\"b\"}\n]\n"
+        );
+        std::fs::write(&path, "not json").unwrap();
+        assert!(append_json_record(&path, "{}").is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_escaping_and_records() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+        let b = Bencher { iters_per_sample: 4, samples: vec![Duration::from_nanos(10); 3], sample_count: 3 };
+        let s = Summary {
+            median: Duration::from_nanos(10),
+            mean: Duration::from_nanos(11),
+            min: Duration::from_nanos(9),
+            max: Duration::from_nanos(12),
+        };
+        let rec = json_record("grp", "id/1", &b, &s, Some(Throughput::Elements(5)));
+        assert_eq!(
+            rec,
+            "{\"group\":\"grp\",\"id\":\"id/1\",\"median_ns\":10,\"mean_ns\":11,\
+             \"min_ns\":9,\"max_ns\":12,\"samples\":3,\"iters_per_sample\":4,\
+             \"throughput\":{\"elements\":5}}"
+        );
+    }
 
     #[test]
     fn group_runs_and_reports() {

@@ -32,8 +32,10 @@ pub fn play(target_elements: usize) -> Document {
         let at = doc.append_element(act, "TITLE").unwrap();
         doc.append_text(at, "ACT").unwrap();
         produced += 2;
-        for _scene in 0..3 {
-            if produced >= target_elements {
+        for scene_i in 0..3 {
+            // An ACT requires at least one SCENE (play.dtd: `(TITLE, SCENE+)`),
+            // so only break once the act is valid.
+            if scene_i > 0 && produced >= target_elements {
                 break;
             }
             let scene = doc.append_element(act, "SCENE").unwrap();
@@ -160,6 +162,26 @@ pub fn for_builtin(b: BuiltinDtd, target_elements: usize) -> Option<Document> {
     }
 }
 
+/// A deterministic batch of `docs` corpus documents for `b` — the standard
+/// many-document workload behind the `PvChecker::check_batch` benchmarks
+/// and tests. Document `i` targets a size jittered over
+/// `[target_elements/2, 3·target_elements/2)` by a fixed Weyl sequence, so
+/// batches are irregular enough to exercise work stealing (equal-sized
+/// documents would never leave a worker idle) while staying bit-identical
+/// across runs and machines. Returns `None` for DTDs without a corpus
+/// builder (see [`for_builtin`]).
+pub fn batch(b: BuiltinDtd, docs: usize, target_elements: usize) -> Option<Vec<Document>> {
+    let spread = target_elements.max(1);
+    (0..docs)
+        .map(|i| {
+            // Low-discrepancy jitter: golden-ratio Weyl sequence on [0, 1).
+            let phase = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 32;
+            let jitter = (phase as usize) % spread;
+            for_builtin(b, target_elements / 2 + jitter)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,5 +216,26 @@ mod tests {
     fn for_builtin_covers_realistic_dtds() {
         assert!(for_builtin(BuiltinDtd::Play, 100).is_some());
         assert!(for_builtin(BuiltinDtd::Figure1, 100).is_none());
+    }
+
+    #[test]
+    fn batch_is_deterministic_valid_and_jittered() {
+        let docs = batch(BuiltinDtd::Play, 8, 200).unwrap();
+        assert_eq!(docs.len(), 8);
+        let again = batch(BuiltinDtd::Play, 8, 200).unwrap();
+        let sizes: Vec<usize> = docs.iter().map(|d| d.element_count()).collect();
+        assert_eq!(sizes, again.iter().map(|d| d.element_count()).collect::<Vec<_>>());
+        // Jitter actually varies sizes within [target/2, 3*target/2).
+        assert!(sizes.iter().any(|&s| s != sizes[0]), "{sizes:?}");
+        assert!(sizes.iter().all(|s| (100..340).contains(s)), "{sizes:?}");
+        // The jitter window is centred on the target: both halves occur
+        // (bounds leave headroom for the generator's block overshoot).
+        assert!(sizes.iter().any(|&s| s < 150), "{sizes:?}");
+        assert!(sizes.iter().any(|&s| s >= 200), "{sizes:?}");
+        let analysis = BuiltinDtd::Play.analysis();
+        for d in &docs {
+            validate_document(d, &analysis.dtd, analysis.root).unwrap();
+        }
+        assert!(batch(BuiltinDtd::Figure1, 3, 100).is_none());
     }
 }

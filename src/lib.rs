@@ -15,6 +15,8 @@
 //! * [`core`] ([`pv_core`]) — the paper's contribution: `δ_T`/`Δ_T`,
 //!   the per-element DAG model, the ECRecognizer, whole-document and
 //!   incremental potential-validity checking;
+//! * [`par`] ([`pv_par`]) — the scoped work-stealing thread pool behind
+//!   sharded document checking;
 //! * [`workload`] ([`pv_workload`]) — random DTD/document/trace generators;
 //! * [`editor`] ([`pv_editor`]) — always-potentially-valid editing
 //!   sessions.
@@ -32,8 +34,34 @@
 //! let doc = pv_xml::parse("<r><a><b>A quick brown</b> fox</a></r>").unwrap();
 //! assert!(checker.check_document(&doc).is_potentially_valid());
 //! ```
+//!
+//! ## Parallel quickstart
+//!
+//! Element nodes are independent ECPV instances, so big documents and
+//! corpora shard across cores — with outcomes **bit-identical** to the
+//! sequential checker (same first-failing node in document order, same
+//! work counters), so parallelism is purely a wall-clock decision:
+//!
+//! ```
+//! use potential_validity::prelude::*;
+//!
+//! let analysis = BuiltinDtd::Play.analysis();
+//! let checker = PvChecker::new(&analysis);
+//! let play = pv_workload::corpus::play(2_000);
+//!
+//! // One large document, per-node sharding; 0 = one worker per CPU.
+//! let outcome = checker.check_document_parallel(&play, 0);
+//! assert!(outcome.is_potentially_valid());
+//! assert_eq!(outcome, checker.check_document(&play));
+//!
+//! // A corpus, per-document sharding: outcome i == check_document(&docs[i]).
+//! let docs = pv_workload::corpus::batch(BuiltinDtd::Play, 8, 300).unwrap();
+//! let outcomes = checker.check_batch(&docs, 4);
+//! assert!(outcomes.iter().all(|o| o.is_potentially_valid()));
+//! ```
 
 pub use pv_core as core;
+pub use pv_par as par;
 pub use pv_dtd as dtd;
 pub use pv_editor as editor;
 pub use pv_grammar as grammar;
