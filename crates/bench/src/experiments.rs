@@ -27,6 +27,7 @@ pub fn all_tables() -> &'static [&'static str] {
         "classes",
         "real-dtds",
         "parallel",
+        "memo",
     ]
 }
 
@@ -41,6 +42,7 @@ pub fn run_table(name: &str) {
         "classes" => table_classes(),
         "real-dtds" => table_real_dtds(),
         "parallel" => table_parallel(),
+        "memo" => table_memo(),
         other => eprintln!("unknown table {other:?}; known: {:?}", all_tables()),
     }
 }
@@ -297,6 +299,120 @@ fn table_incremental() {
             fmt_dur(t_full)
         );
     }
+
+    // Guarded *applied* edits through the editor session: since the undo
+    // journal replaced whole-document snapshots, a 1k-edit trace costs
+    // O(edit) per operation — the per-edit column must stay flat as the
+    // document grows 100×.
+    println!("\n| doc elements | 1k-edit editor trace (update_text) | per edit |");
+    println!("|---|---|---|");
+    for target in [100usize, 1000, 10000] {
+        let doc = corpus::tei(target);
+        let mut session =
+            pv_editor::EditorSession::open(&analysis, doc).expect("TEI corpus is PV");
+        let t = session
+            .document()
+            .descendants(session.document().root())
+            .find(|&n| session.document().text(n).is_some())
+            .expect("corpus has text");
+        let elements = session.document().element_count();
+        let t_trace = median(5, || {
+            for i in 0..1000 {
+                session
+                    .update_text(t, if i % 2 == 0 { "alpha" } else { "beta" })
+                    .expect("text update never rejected");
+            }
+        });
+        println!("| {elements} | {} | {} |", fmt_dur(t_trace), per_item(t_trace, 1000));
+    }
+    println!();
+}
+
+/// X8 — shape-memoized checking across hit-rate regimes.
+fn table_memo() {
+    println!("## Table X8 — shape-memoized checking (repetitive → adversarial corpora)\n");
+    println!(
+        "~10k-element corpora over the `repetitive` DTD family; `off` disables the\n\
+         verdict cache, `warm` re-checks with a populated cache (the editor regime),\n\
+         `cold` clears the cache inside the timed loop. Outcomes (verdict + all work\n\
+         counters) are asserted bit-identical in every cell.\n"
+    );
+    println!("| corpus | nodes | distinct shapes | cold hit rate | entries | off/node | warm/node | speedup | cold/node | cold overhead | identical |");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|");
+
+    let analysis = corpus::repetitive_analysis();
+    for distinct in crate::workloads::MEMO_DISTINCT_SWEEP {
+        let doc = crate::workloads::memo_doc(distinct);
+        let n = doc.element_count();
+        let label = if distinct == usize::MAX {
+            "all-distinct".to_owned()
+        } else {
+            format!("repetitive d={distinct}")
+        };
+
+        let mut off = PvChecker::new(&analysis);
+        off.set_memo_enabled(false);
+        let expect = off.check_document(&doc);
+
+        let on = PvChecker::new(&analysis);
+        let cold_outcome = on.check_document(&doc);
+        let cold_stats = on.memo_stats().unwrap();
+        let warm_outcome = on.check_document(&doc);
+        let identical = cold_outcome == expect && warm_outcome == expect;
+
+        let t_off = median(5, || {
+            std::hint::black_box(off.check_document(&doc).is_potentially_valid());
+        });
+        let t_warm = median(5, || {
+            std::hint::black_box(on.check_document(&doc).is_potentially_valid());
+        });
+        let cold = PvChecker::new(&analysis);
+        let t_cold = median(5, || {
+            cold.memo_clear();
+            std::hint::black_box(cold.check_document(&doc).is_potentially_valid());
+        });
+
+        let speedup = t_off.as_secs_f64() / t_warm.as_secs_f64().max(f64::EPSILON);
+        let overhead =
+            100.0 * (t_cold.as_secs_f64() / t_off.as_secs_f64().max(f64::EPSILON) - 1.0);
+        println!(
+            "| {label} | {n} | {} | {:.1}% | {} | {} | {} | {speedup:.1}× | {} | {overhead:+.1}% | {identical} |",
+            if distinct == usize::MAX { "all".to_owned() } else { distinct.to_string() },
+            100.0 * cold_stats.hit_rate(),
+            cold_stats.entries,
+            per_item(t_off, n),
+            per_item(t_warm, n),
+            per_item(t_cold, n),
+        );
+    }
+
+    // Real corpus anchor: the stripped play document.
+    let play = BuiltinDtd::Play.analysis();
+    let doc = crate::workloads::parallel_doc();
+    let n = doc.element_count();
+    let mut off = PvChecker::new(&play);
+    off.set_memo_enabled(false);
+    let expect = off.check_document(&doc);
+    let on = PvChecker::new(&play);
+    let cold_outcome = on.check_document(&doc);
+    // Snapshot *before* the warm pass, like the synthetic rows: the column
+    // reports the cold hit rate.
+    let stats = on.memo_stats().unwrap();
+    let identical = cold_outcome == expect && on.check_document(&doc) == expect;
+    let t_off = median(5, || {
+        std::hint::black_box(off.check_document(&doc).is_potentially_valid());
+    });
+    let t_warm = median(5, || {
+        std::hint::black_box(on.check_document(&doc).is_potentially_valid());
+    });
+    println!(
+        "| play (stripped) | {n} | — | {:.1}% | {} | {} | {} | {:.1}× | — | — | {identical} |",
+        100.0 * stats.hit_rate(),
+        stats.entries,
+        per_item(t_off, n),
+        per_item(t_warm, n),
+        t_off.as_secs_f64() / t_warm.as_secs_f64().max(f64::EPSILON),
+    );
     println!();
 }
 
@@ -437,8 +553,9 @@ mod tests {
 
     #[test]
     fn table_names_resolve() {
-        assert_eq!(all_tables().len(), 8);
+        assert_eq!(all_tables().len(), 9);
         assert!(all_tables().contains(&"parallel"));
+        assert!(all_tables().contains(&"memo"));
     }
 
     #[test]

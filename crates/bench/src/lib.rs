@@ -21,7 +21,11 @@
 //!   work-stealing pool: per-node sharding of one large document and
 //!   per-document sharding of a batch, with speedup vs. the sequential
 //!   checker and an outcome-identity column (claim X7 — this
-//!   reproduction's own addition; the paper is purely sequential).
+//!   reproduction's own addition; the paper is purely sequential);
+//! * `experiments --table memo` — shape-memoized checking (claim X8, also
+//!   an addition): ns/node with the verdict cache off / warm / cold over
+//!   the `repetitive` corpus family's hit-rate sweep, with hit rate,
+//!   resident cache entries, and a bit-identity column per row.
 //!
 //! The same workloads back the Criterion benches under `benches/`
 //! (including `parallel_scaling`). Set `BENCH_JSON=path` while running

@@ -26,6 +26,20 @@ pub fn parallel_batch() -> Vec<Document> {
     corpus::batch(BuiltinDtd::Play, 24, 800).expect("play has a corpus builder")
 }
 
+/// Target element count of the memoization workloads.
+pub const MEMO_NODES: usize = 10_000;
+
+/// The repetitive memo workload: ~10k elements, `distinct` distinct
+/// `(element, child-shape)` pairs (see `pv_workload::corpus::repetitive`).
+/// `usize::MAX` gives the adversarial all-distinct corpus.
+pub fn memo_doc(distinct: usize) -> Document {
+    corpus::repetitive(MEMO_NODES, distinct)
+}
+
+/// Distinct-shape counts swept by the memo bench and table X8: hit-rate
+/// regimes from ~100% (one shape) down to 0% (all distinct).
+pub const MEMO_DISTINCT_SWEEP: [usize; 4] = [1, 16, 256, usize::MAX];
+
 #[cfg(test)]
 mod tests {
     use super::*;

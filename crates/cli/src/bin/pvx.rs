@@ -9,7 +9,7 @@ const USAGE: &str = "\
 pvx — potential validity of document-centric XML (ICDE 2006)
 
 USAGE:
-  pvx check    [--dtd FILE --root NAME | --builtin NAME] [--depth N] [--jobs N] DOC.xml...
+  pvx check    [--dtd FILE --root NAME | --builtin NAME] [--depth N] [--jobs N] [--no-memo] DOC.xml...
   pvx validate [--dtd FILE --root NAME | --builtin NAME] [--ignore-whitespace] DOC.xml...
   pvx complete [--dtd FILE --root NAME | --builtin NAME] DOC.xml
   pvx classify (--dtd FILE --root NAME | --builtin NAME)
@@ -20,8 +20,10 @@ Without --dtd/--builtin, documents must carry an internal DTD subset
 tei-lite, play, docbook-like, dissertation.
 
 --jobs N shards the per-node checks of `check` over N worker threads
-(0 = one per CPU; default 1 = sequential). The verdict and the
-diagnosis are identical at any job count.
+(0 = one per CPU; default 1 = sequential). `check` memoizes repeated
+(element, child-shape) verdicts and reports cache telemetry on a
+trailing `memo:` line; --no-memo disables the cache. The verdict and
+the diagnosis are identical at any job/memo setting.
 
 EXIT CODES: 0 ok / potentially valid · 1 check failed · 2 usage or parse error";
 
@@ -32,6 +34,7 @@ struct Args {
     builtin: Option<String>,
     depth: Option<u32>,
     jobs: usize,
+    memo: bool,
     ignore_whitespace: bool,
     docs: Vec<String>,
 }
@@ -46,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         builtin: None,
         depth: None,
         jobs: 1,
+        memo: true,
         ignore_whitespace: false,
         docs: Vec::new(),
     };
@@ -65,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
                 let v = need_value(&mut argv, "--jobs")?;
                 args.jobs = v.parse().map_err(|_| format!("bad --jobs {v:?}"))?;
             }
+            "--no-memo" => args.memo = false,
             "--ignore-whitespace" => args.ignore_whitespace = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -161,7 +166,7 @@ fn main() {
                     None => DepthPolicy::Auto,
                 };
                 let (report, status) = match args.command.as_str() {
-                    "check" => cmd_check(&ctx, path, &doc, depth, args.jobs),
+                    "check" => cmd_check(&ctx, path, &doc, depth, args.jobs, args.memo),
                     "validate" => cmd_validate(&ctx, path, &doc, args.ignore_whitespace),
                     _ => cmd_complete(&ctx, path, &doc),
                 };

@@ -110,19 +110,24 @@ pub fn resolve_dtd(
 
 /// `pvx check`: potential validity with diagnosis. Returns the report text
 /// and status. `jobs` shards the per-node recognizer runs over that many
-/// worker threads (`1` = sequential, `0` = one per available CPU); the
-/// verdict and diagnosis are bit-identical at any setting.
+/// worker threads (`1` = sequential, `0` = one per available CPU); `memo`
+/// toggles shape-memoized checking (the `--no-memo` flag passes `false`).
+/// The verdict and diagnosis are bit-identical at any `jobs`/`memo`
+/// setting; only the trailing `memo:` telemetry line (hit/miss counts are
+/// scheduling-dependent under parallel checking) varies.
 pub fn cmd_check(
     ctx: &DtdContext,
     name: &str,
     doc: &Document,
     depth: DepthPolicy,
     jobs: usize,
+    memo: bool,
 ) -> (String, Status) {
-    let checker = PvChecker::with_policy(&ctx.analysis, depth);
+    let mut checker = PvChecker::with_policy(&ctx.analysis, depth);
+    checker.set_memo_enabled(memo);
     let out = checker.check_document_parallel(doc, jobs);
     let mut report = String::new();
-    match &out.violation {
+    let status = match &out.violation {
         None => {
             let _ = writeln!(
                 report,
@@ -131,7 +136,7 @@ pub fn cmd_check(
                 ctx.analysis.rec.class,
                 if checker.depth() == u32::MAX { "∞".to_owned() } else { checker.depth().to_string() },
             );
-            (report, Status::Ok)
+            Status::Ok
         }
         Some(v) => {
             let _ = writeln!(report, "{name}: NOT potentially valid");
@@ -140,9 +145,20 @@ pub fn cmd_check(
                 report,
                 "  (no insertion of markup can repair this; deletion or renaming is required)"
             );
-            (report, Status::Failed)
+            Status::Failed
         }
+    };
+    if let Some(stats) = checker.memo_stats() {
+        let _ = writeln!(
+            report,
+            "  memo: {} hits / {} misses ({:.1}% hit rate), {} cached shapes",
+            stats.hits,
+            stats.misses,
+            100.0 * stats.hit_rate(),
+            stats.entries,
+        );
     }
+    (report, status)
 }
 
 /// `pvx validate`: standard DTD validity.
@@ -307,14 +323,36 @@ mod tests {
     fn check_reports_both_ways() {
         let ctx = fig1_ctx();
         let s = pv_xml::parse("<r><a><b>x</b><c>y</c> z<e/></a></r>").unwrap();
-        let (rep, st) = cmd_check(&ctx, "s", &s, DepthPolicy::Auto, 1);
+        let (rep, st) = cmd_check(&ctx, "s", &s, DepthPolicy::Auto, 1, true);
         assert_eq!(st, Status::Ok);
         assert!(rep.contains("POTENTIALLY VALID"));
+        assert!(rep.contains("memo:"), "memo telemetry line expected: {rep}");
         let w = pv_xml::parse("<r><a><b>x</b><e/><c>y</c></a></r>").unwrap();
-        let (rep, st) = cmd_check(&ctx, "w", &w, DepthPolicy::Auto, 1);
+        let (rep, st) = cmd_check(&ctx, "w", &w, DepthPolicy::Auto, 1, true);
         assert_eq!(st, Status::Failed);
         assert!(rep.contains("NOT potentially valid"));
         assert!(rep.contains("<c>"));
+    }
+
+    #[test]
+    fn check_memo_off_drops_telemetry_but_keeps_the_verdict() {
+        let ctx = fig1_ctx();
+        let s = pv_xml::parse("<r><a><b>x</b><c>y</c> z<e/></a></r>").unwrap();
+        let (with_memo, st1) = cmd_check(&ctx, "s", &s, DepthPolicy::Auto, 1, true);
+        let (without, st2) = cmd_check(&ctx, "s", &s, DepthPolicy::Auto, 1, false);
+        assert_eq!(st1, st2);
+        assert!(!without.contains("memo:"), "{without}");
+        assert_eq!(strip_memo_lines(&with_memo), without);
+    }
+
+    /// Drops the `memo:` telemetry line (its hit/miss counters are
+    /// scheduling-dependent under parallel checking; the verdict is not).
+    fn strip_memo_lines(report: &str) -> String {
+        report
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("memo:"))
+            .map(|l| format!("{l}\n"))
+            .collect()
     }
 
     #[test]
@@ -323,10 +361,14 @@ mod tests {
         let s = pv_xml::parse("<r><a><b>x</b><c>y</c> z<e/></a></r>").unwrap();
         let w = pv_xml::parse("<r><a><b>x</b><e/><c>y</c></a></r>").unwrap();
         for doc in [&s, &w] {
-            let (rep1, st1) = cmd_check(&ctx, "d", doc, DepthPolicy::Auto, 1);
+            let (rep1, st1) = cmd_check(&ctx, "d", doc, DepthPolicy::Auto, 1, true);
             for jobs in [0usize, 2, 8] {
-                let (rep, st) = cmd_check(&ctx, "d", doc, DepthPolicy::Auto, jobs);
-                assert_eq!((rep, st), (rep1.clone(), st1), "jobs={jobs}");
+                let (rep, st) = cmd_check(&ctx, "d", doc, DepthPolicy::Auto, jobs, true);
+                assert_eq!(
+                    (strip_memo_lines(&rep), st),
+                    (strip_memo_lines(&rep1), st1),
+                    "jobs={jobs}"
+                );
             }
         }
     }

@@ -8,6 +8,7 @@
 
 use crate::dag::DagSet;
 use crate::depth::DepthPolicy;
+use crate::memo::{MemoStats, MemoVerdict, ShapeCache};
 use crate::recognizer::{EcRecognizer, RecCtx, RecognizerStats};
 use crate::token::{ChildSym, Tokens};
 use pv_dtd::DtdAnalysis;
@@ -88,15 +89,40 @@ impl PvOutcome {
     }
 }
 
+/// Reusable per-scan buffers for the checker's per-node hot path: one
+/// recognizer (re-armed per node via [`EcRecognizer::reset`]) and one
+/// child-symbol buffer (refilled per node via
+/// [`Tokens::children_into`]), so checking a node allocates nothing in
+/// steady state. Create one per document scan — or one per parallel
+/// worker — with [`PvChecker::scratch`]; the sequential and batch entry
+/// points do so internally.
+pub struct CheckScratch<'s> {
+    rec: EcRecognizer<'s>,
+    syms: Vec<ChildSym>,
+}
+
 /// A reusable potential-validity checker for one compiled DTD.
 ///
 /// Construction compiles the per-element DAGs once (`O(k)`); each document
 /// check is then `O(k·D·n)` (Theorem 4), linear in the document for a fixed
 /// DTD.
+///
+/// ## Shape memoization
+///
+/// The checker carries a [`ShapeCache`] (on by default): every ECPV run is
+/// keyed by `(element type, child-symbol shape)` and repeated shapes are
+/// answered from the cache with their recorded stats delta replayed, so
+/// outcomes — verdict, failing node/index/symbol, *and every counter* —
+/// are bit-identical with the memo on or off (`tests/memo_differential.rs`
+/// enforces this). Repetitive document-centric corpora drop from a
+/// recognizer walk per node to a hash lookup per node; see
+/// [`crate::memo`] for the sharding and capacity rules. Disable with
+/// [`PvChecker::set_memo_enabled`] (the `pvx check --no-memo` path).
 pub struct PvChecker<'a> {
     analysis: &'a DtdAnalysis,
     dags: DagSet,
     depth: u32,
+    memo: Option<ShapeCache>,
 }
 
 impl<'a> PvChecker<'a> {
@@ -107,7 +133,62 @@ impl<'a> PvChecker<'a> {
 
     /// Builds a checker with an explicit depth policy.
     pub fn with_policy(analysis: &'a DtdAnalysis, policy: DepthPolicy) -> Self {
-        PvChecker { analysis, dags: DagSet::new(analysis), depth: policy.resolve(analysis) }
+        PvChecker {
+            analysis,
+            dags: DagSet::new(analysis),
+            depth: policy.resolve(analysis),
+            memo: Some(ShapeCache::new()),
+        }
+    }
+
+    /// Enables or disables shape memoization. Turning it off drops the
+    /// cache; turning it back on starts cold. Outcomes are identical
+    /// either way — this is purely a time/space knob.
+    pub fn set_memo_enabled(&mut self, enabled: bool) {
+        match (enabled, self.memo.is_some()) {
+            (true, false) => self.memo = Some(ShapeCache::new()),
+            (false, true) => self.memo = None,
+            _ => {}
+        }
+    }
+
+    /// `true` while shape memoization is active.
+    #[inline]
+    pub fn memo_enabled(&self) -> bool {
+        self.memo.is_some()
+    }
+
+    /// Replaces the memo with a fresh cache bounded to roughly `entries`
+    /// verdicts (the capacity divides over the cache's shards; a full
+    /// shard flushes rather than grows — see [`crate::memo`]).
+    pub fn set_memo_capacity(&mut self, entries: usize) {
+        self.memo = Some(ShapeCache::with_capacity(entries));
+    }
+
+    /// Telemetry snapshot of the shape cache, or `None` when memoization
+    /// is disabled. Hit/miss counts are scheduling-dependent under
+    /// parallel checking (see [`MemoStats`]); outcomes never are.
+    pub fn memo_stats(&self) -> Option<MemoStats> {
+        self.memo.as_ref().map(|m| m.stats())
+    }
+
+    /// Drops every cached verdict (telemetry counters survive). Used by
+    /// benchmarks to measure cold-cache behaviour.
+    pub fn memo_clear(&self) {
+        if let Some(m) = &self.memo {
+            m.clear();
+        }
+    }
+
+    /// Builds a per-scan scratch (recognizer + symbol buffer) borrowing
+    /// this checker's DAGs. The recognizer context is created here — once
+    /// per scan or per parallel worker, not once per node.
+    pub fn scratch(&self) -> CheckScratch<'_> {
+        let ctx = RecCtx::new(self.analysis, &self.dags);
+        CheckScratch {
+            rec: EcRecognizer::new(ctx, self.analysis.root, self.depth),
+            syms: Vec::new(),
+        }
     }
 
     /// The compiled DTD this checker runs against.
@@ -147,13 +228,21 @@ impl<'a> PvChecker<'a> {
 
     /// Checks Problem PV for the whole document.
     pub fn check_document(&self, doc: &Document) -> PvOutcome {
+        let mut scratch = self.scratch();
+        self.check_document_with(doc, &mut scratch)
+    }
+
+    /// [`PvChecker::check_document`] with a caller-provided scratch, for
+    /// drivers scanning many documents that want to reuse the buffers
+    /// (the batch checker's workers do).
+    pub fn check_document_with(&self, doc: &Document, scratch: &mut CheckScratch<'_>) -> PvOutcome {
         let mut stats = RecognizerStats::default();
         // Root element type must match r.
         if let Some(v) = self.check_root(doc) {
             return PvOutcome { violation: Some(v), stats };
         }
         for node in doc.elements() {
-            if let Some(v) = self.check_node(doc, node, &mut stats) {
+            if let Some(v) = self.check_node_with(doc, node, &mut stats, scratch) {
                 return PvOutcome { violation: Some(v), stats };
             }
         }
@@ -195,17 +284,27 @@ impl<'a> PvChecker<'a> {
         // decreases, so nodes at or before the final minimum are never
         // pruned and their per-node results are always computed.
         let first_bad = AtomicUsize::new(usize::MAX);
-        let per_node = pv_par::map_indexed(jobs, nodes.len(), |i| {
-            if i > first_bad.load(Ordering::Relaxed) {
-                return None; // after a known violation: result unreachable
-            }
-            let mut stats = RecognizerStats::default();
-            let violation = self.check_node(doc, nodes[i], &mut stats);
-            if violation.is_some() {
-                first_bad.fetch_min(i, Ordering::Relaxed);
-            }
-            Some((violation, stats))
-        });
+        // Workers carry a per-worker scratch (recognizer buffers) and share
+        // this checker's shape cache by reference: the cache is sharded and
+        // read-mostly, and a hit replays the recorded stats delta, so the
+        // reduction below stays bit-identical to the sequential checker
+        // whether a node's verdict was computed or cached.
+        let per_node = pv_par::map_indexed_with(
+            jobs,
+            nodes.len(),
+            || self.scratch(),
+            |scratch, i| {
+                if i > first_bad.load(Ordering::Relaxed) {
+                    return None; // after a known violation: result unreachable
+                }
+                let mut stats = RecognizerStats::default();
+                let violation = self.check_node_with(doc, nodes[i], &mut stats, scratch);
+                if violation.is_some() {
+                    first_bad.fetch_min(i, Ordering::Relaxed);
+                }
+                Some((violation, stats))
+            },
+        );
         // Deterministic reduction in document order.
         let mut stats = RecognizerStats::default();
         for entry in per_node {
@@ -231,7 +330,12 @@ impl<'a> PvChecker<'a> {
     /// For one huge document use [`PvChecker::check_document_parallel`],
     /// which shards *within* the document.
     pub fn check_batch(&self, docs: &[Document], jobs: usize) -> Vec<PvOutcome> {
-        pv_par::map(jobs, docs, |doc| self.check_document(doc))
+        pv_par::map_indexed_with(
+            jobs,
+            docs.len(),
+            || self.scratch(),
+            |scratch, i| self.check_document_with(&docs[i], scratch),
+        )
     }
 
     /// Checks Problem ECPV for a single node's content (used by the
@@ -241,6 +345,21 @@ impl<'a> PvChecker<'a> {
         doc: &Document,
         node: NodeId,
         stats: &mut RecognizerStats,
+    ) -> Option<PvViolation> {
+        let mut scratch = self.scratch();
+        self.check_node_with(doc, node, stats, &mut scratch)
+    }
+
+    /// [`PvChecker::check_node`] against a reusable scratch — the per-node
+    /// body of every document scan. The hot path performs no allocation:
+    /// the child-symbol buffer is refilled in place, a memo hit replays
+    /// the cached stats delta, and a miss re-arms the scratch recognizer.
+    fn check_node_with(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        stats: &mut RecognizerStats,
+        scratch: &mut CheckScratch<'_>,
     ) -> Option<PvViolation> {
         let elem = match self.analysis.id(doc.name(node).unwrap_or("")) {
             Some(e) => e,
@@ -253,19 +372,22 @@ impl<'a> PvChecker<'a> {
                 })
             }
         };
-        let syms = match Tokens::children(doc, node, &self.analysis.dtd) {
-            Ok(s) => s,
-            Err(e) => {
-                return Some(PvViolation {
-                    node: e.node,
-                    kind: PvViolationKind::UndeclaredElement { name: e.name },
+        // Borrow juggling: the symbol buffer is taken out of the scratch so
+        // the recognizer half can be borrowed mutably alongside it.
+        let mut syms = std::mem::take(&mut scratch.syms);
+        let result = match Tokens::children_into(doc, node, &self.analysis.dtd, &mut syms) {
+            Ok(()) => {
+                self.check_symbols_with(elem, &syms, stats, scratch).map(|(index, symbol)| {
+                    PvViolation { node, kind: PvViolationKind::ContentRejected { symbol, index } }
                 })
             }
+            Err(e) => Some(PvViolation {
+                node: e.node,
+                kind: PvViolationKind::UndeclaredElement { name: e.name },
+            }),
         };
-        self.check_symbols(elem, &syms, stats).map(|(index, symbol)| PvViolation {
-            node,
-            kind: PvViolationKind::ContentRejected { symbol, index },
-        })
+        scratch.syms = syms;
+        result
     }
 
     /// Runs one ECPV instance; returns the failing index/symbol, if any.
@@ -275,15 +397,60 @@ impl<'a> PvChecker<'a> {
         syms: &[ChildSym],
         stats: &mut RecognizerStats,
     ) -> Option<(usize, String)> {
-        let ctx = RecCtx::new(self.analysis, &self.dags);
-        let mut rec = EcRecognizer::new(ctx, elem, self.depth);
+        let mut scratch = self.scratch();
+        self.check_symbols_with(elem, syms, stats, &mut scratch)
+    }
+
+    /// [`PvChecker::check_symbols`] against a reusable scratch, memoized
+    /// by `(elem, shape)` when the shape cache is on. The violation's
+    /// display string is re-rendered from `syms` on a hit (the failing
+    /// *index* is shape-intrinsic, so it caches; the string is not stored).
+    pub fn check_symbols_with(
+        &self,
+        elem: pv_dtd::ElemId,
+        syms: &[ChildSym],
+        stats: &mut RecognizerStats,
+        scratch: &mut CheckScratch<'_>,
+    ) -> Option<(usize, String)> {
+        // Childless content is trivially potentially valid (every element
+        // is nullable under G′ — Theorem 3) and the recognizer would touch
+        // no counter: skip it and the memo alike.
+        if syms.is_empty() {
+            return None;
+        }
+        let render = |i: u32| (i as usize, syms[i as usize].display(&self.analysis.dtd));
+        if let Some(memo) = &self.memo {
+            if let Some(hit) = memo.lookup(elem, syms) {
+                stats.merge(&hit.stats);
+                return hit.failing.map(render);
+            }
+            let (failing, delta) = self.run_symbols(elem, syms, scratch);
+            memo.insert(elem, syms, MemoVerdict { failing, stats: delta });
+            stats.merge(&delta);
+            return failing.map(render);
+        }
+        let (failing, delta) = self.run_symbols(elem, syms, scratch);
+        stats.merge(&delta);
+        failing.map(render)
+    }
+
+    /// The uncached ECPV run, returning the failing index and the exact
+    /// stats delta the run accumulated (what the memo stores and replays).
+    fn run_symbols(
+        &self,
+        elem: pv_dtd::ElemId,
+        syms: &[ChildSym],
+        scratch: &mut CheckScratch<'_>,
+    ) -> (Option<u32>, RecognizerStats) {
+        let mut delta = RecognizerStats::default();
+        scratch.rec.reset(elem, self.depth);
         for (i, &x) in syms.iter().enumerate() {
-            stats.symbols += 1;
-            if !rec.validate(x, stats) {
-                return Some((i, x.display(&self.analysis.dtd)));
+            delta.symbols += 1;
+            if !scratch.rec.validate(x, &mut delta) {
+                return (Some(i as u32), delta);
             }
         }
-        None
+        (None, delta)
     }
 }
 
@@ -488,5 +655,87 @@ mod tests {
         let a = doc.children(doc.root())[0];
         let mut stats = RecognizerStats::default();
         assert!(checker.check_node(&doc, a, &mut stats).is_none());
+    }
+
+    #[test]
+    fn memo_outcomes_bit_identical_cold_and_warm() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let mut plain = PvChecker::new(&analysis);
+        plain.set_memo_enabled(false);
+        assert!(!plain.memo_enabled());
+        let memoized = PvChecker::new(&analysis);
+        assert!(memoized.memo_enabled());
+        for doc in [
+            pv_xml::parse(S).unwrap(),
+            pv_xml::parse(W).unwrap(),
+            wide_doc(80, false),
+            wide_doc(80, true),
+        ] {
+            let expect = plain.check_document(&doc);
+            let cold = memoized.check_document(&doc);
+            let warm = memoized.check_document(&doc);
+            assert_eq!(cold, expect, "cold cache diverged");
+            assert_eq!(warm, expect, "warm cache diverged");
+        }
+        let stats = memoized.memo_stats().unwrap();
+        assert!(stats.hits > 0, "repetitive wide_doc must hit: {stats:?}");
+        assert!(stats.entries > 0);
+    }
+
+    #[test]
+    fn memo_hits_across_repeated_shapes_in_one_document() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let checker = PvChecker::new(&analysis);
+        let doc = wide_doc(100, false);
+        assert!(checker.check_document(&doc).is_potentially_valid());
+        let stats = checker.memo_stats().unwrap();
+        // 100 identical <a> blocks: one miss per distinct shape, the other
+        // ~99 <a> nodes hit. (Childless nodes bypass the memo entirely.)
+        assert!(stats.hits >= 90, "{stats:?}");
+        assert!(stats.entries <= 16, "{stats:?}");
+        // Clearing keeps telemetry but drops entries.
+        checker.memo_clear();
+        assert_eq!(checker.memo_stats().unwrap().entries, 0);
+    }
+
+    #[test]
+    fn memo_capacity_bounds_adversarial_growth() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let mut checker = PvChecker::new(&analysis);
+        checker.set_memo_capacity(64);
+        // Many <d> nodes with distinct mixed-content shapes (x e … e),
+        // each wrapped in its own legal <a> block under r → (a+).
+        let mut xml = String::from("<r>");
+        for i in 0..400 {
+            xml.push_str("<a><d>x");
+            for _ in 0..(i % 40) {
+                xml.push_str("<e/>");
+            }
+            xml.push_str("</d></a>");
+        }
+        xml.push_str("</r>");
+        let doc = pv_xml::parse(&xml).unwrap();
+        let out = checker.check_document(&doc);
+        let mut plain = PvChecker::new(&analysis);
+        plain.set_memo_enabled(false);
+        assert_eq!(out, plain.check_document(&doc));
+        let stats = checker.memo_stats().unwrap();
+        assert!(stats.entries <= 64, "capacity not honored: {stats:?}");
+    }
+
+    #[test]
+    fn parallel_checking_with_shared_memo_stays_identical() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let mut plain = PvChecker::new(&analysis);
+        plain.set_memo_enabled(false);
+        let memoized = PvChecker::new(&analysis);
+        for doc in [wide_doc(120, false), wide_doc(120, true)] {
+            let expect = plain.check_document(&doc);
+            for jobs in [1usize, 2, 8] {
+                // Cold-ish and warm passes both must match.
+                assert_eq!(memoized.check_document_parallel(&doc, jobs), expect, "jobs={jobs}");
+                assert_eq!(memoized.check_document_parallel(&doc, jobs), expect, "jobs={jobs}");
+            }
+        }
     }
 }

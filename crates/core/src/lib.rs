@@ -32,6 +32,11 @@
 //! * [`checker`] — whole-document potential validity (Problem PV) by
 //!   running ECPV at every element node, with diagnostics pointing at the
 //!   offending node and symbol.
+//! * [`memo`] — shape-memoized verdicts: child-symbol sequences are
+//!   hash-consed into interned shapes and `(element, shape)` ECPV results
+//!   are cached with their stats delta, so repetitive markup checks in
+//!   amortized O(1) per node with outcomes bit-identical to the uncached
+//!   checker.
 //! * [`incremental`] — update-time checks for editors: O(1) character-data
 //!   insertion (Proposition 3), free deletions and data updates
 //!   (Theorem 2), and two-node checks for markup insertion.
@@ -69,12 +74,14 @@ pub mod checker;
 pub mod dag;
 pub mod depth;
 pub mod incremental;
+pub mod memo;
 pub mod recognizer;
 pub mod suggest;
 pub mod token;
 
-pub use checker::{PvChecker, PvOutcome, PvViolation, PvViolationKind};
+pub use checker::{CheckScratch, PvChecker, PvOutcome, PvViolation, PvViolationKind};
 pub use dag::{DagNode, DagNodeKind, DagSet, ElementDag};
 pub use depth::DepthPolicy;
+pub use memo::{MemoStats, ShapeCache};
 pub use recognizer::{EcRecognizer, RecognizerStats};
 pub use token::{ChildSym, Tok, TokenError, Tokens};

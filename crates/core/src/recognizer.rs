@@ -137,6 +137,16 @@ pub struct EcRecognizer<'a> {
     /// Scratch: same, for the next generation (successors of consumed
     /// nodes — available only from the following symbol on).
     nxt: Vec<bool>,
+    /// Scratch for one `validate` round: entries consumed this symbol whose
+    /// successors activate for the next one. Kept as a field (emptied
+    /// between rounds) so the steady-state hot path never allocates.
+    advanced: Vec<Entry<'a>>,
+    /// Scratch for one `validate` round: entries that matched and stay
+    /// active (star-groups, partial subs).
+    stayed: Vec<Entry<'a>>,
+    /// Scratch for one `validate` round: parked would-be speculators with
+    /// their `spec_key`, drained min-key-first once the FIFO is empty.
+    deferred: Vec<(u32, Entry<'a>)>,
 }
 
 impl<'a> EcRecognizer<'a> {
@@ -144,16 +154,46 @@ impl<'a> EcRecognizer<'a> {
     /// elision budget (Figure 5, constructor).
     pub fn new(ctx: RecCtx<'a>, e: ElemId, depth: u32) -> Self {
         let dag = ctx.dags.dag(e);
-        let mut cur = vec![false; dag.len()];
-        let mut active = Vec::with_capacity(dag.starts.len());
+        let mut rec = EcRecognizer {
+            ctx,
+            dag,
+            depth,
+            active: Vec::with_capacity(dag.starts.len()),
+            cur: Vec::new(),
+            nxt: Vec::new(),
+            advanced: Vec::new(),
+            stayed: Vec::new(),
+            deferred: Vec::new(),
+        };
+        rec.reset(e, depth);
+        rec
+    }
+
+    /// Re-arms this recognizer for a fresh ECPV instance over element `e`
+    /// with the given elision budget, **reusing every internal buffer**.
+    /// After `reset` the recognizer is observationally identical to a
+    /// freshly constructed one ([`EcRecognizer::new`] is implemented on top
+    /// of it); the checker's per-document scratch
+    /// ([`crate::checker::CheckScratch`]) relies on this to keep the
+    /// per-node hot path allocation-free.
+    pub fn reset(&mut self, e: ElemId, depth: u32) {
+        let dag = self.ctx.dags.dag(e);
+        self.dag = dag;
+        self.depth = depth;
+        self.active.clear();
+        self.advanced.clear();
+        self.stayed.clear();
+        self.deferred.clear();
+        self.cur.clear();
+        self.cur.resize(dag.len(), false);
+        self.nxt.clear();
+        self.nxt.resize(dag.len(), false);
         for &s in &dag.starts {
-            if !cur[s as usize] {
-                cur[s as usize] = true;
-                active.push(Entry::fresh(s));
+            if !self.cur[s as usize] {
+                self.cur[s as usize] = true;
+                self.active.push(Entry::fresh(s));
             }
         }
-        let nxt = vec![false; dag.len()];
-        EcRecognizer { ctx, dag, depth, active, cur, nxt }
     }
 
     /// `true` once every DAG position has been consumed or skipped — the
@@ -205,7 +245,13 @@ impl<'a> EcRecognizer<'a> {
             return true;
         }
         let mut result = false;
-        let queue = std::mem::take(&mut self.active);
+        // The four round buffers are fields so their capacity survives
+        // across symbols and nodes (allocation-free steady state); they are
+        // taken locally for the round and rotated back at the end.
+        let mut fifo = std::mem::take(&mut self.active);
+        let mut deferred = std::mem::take(&mut self.deferred);
+        let mut advanced = std::mem::take(&mut self.advanced);
+        let mut stayed = std::mem::take(&mut self.stayed);
         // Reset generation flags: `cur` marks fresh (sub-less) entries
         // examinable for this symbol, `nxt` marks fresh entries created for
         // the next symbol. Keeping the generations separate is essential:
@@ -213,7 +259,7 @@ impl<'a> EcRecognizer<'a> {
         // suppress the same node arriving fresh as an advance successor.
         self.cur.fill(false);
         self.nxt.fill(false);
-        for e in &queue {
+        for e in &fifo {
             if e.sub.is_none() {
                 self.cur[e.node as usize] = true;
             }
@@ -233,11 +279,7 @@ impl<'a> EcRecognizer<'a> {
         // parked in `deferred` and drained min-key-first only once no
         // FIFO work is pending. Both lists are tiny (bounded by the DAG),
         // so the min scan beats a heap's constants.
-        let mut fifo = queue;
-        let mut deferred: Vec<(u32, Entry<'a>)> = Vec::new();
         let mut di = 0usize; // deferred entries before this index are spent
-        let mut advanced: Vec<Entry<'a>> = Vec::new();
-        let mut stayed: Vec<Entry<'a>> = Vec::new();
         // Classify the initial generation in place, keeping the original
         // order on both sides (stable partition). Order is not entirely
         // free within key 0: fresh key-0 entries consume no budget, but
@@ -315,7 +357,7 @@ impl<'a> EcRecognizer<'a> {
         // successor, once as a surviving speculative (sub-carrying) entry;
         // these are distinct parse states. Identical *fresh* duplicates,
         // however, are merged to keep the list O(|DAG|).
-        advanced.extend(stayed);
+        advanced.append(&mut stayed);
         self.cur.fill(false);
         advanced.retain(|e| {
             if e.sub.is_some() {
@@ -325,6 +367,12 @@ impl<'a> EcRecognizer<'a> {
             self.cur[e.node as usize] = true;
             !seen
         });
+        // Rotate the buffers back: the drained FIFO becomes the next
+        // round's `advanced` scratch, keeping its capacity.
+        deferred.clear();
+        self.deferred = deferred;
+        self.stayed = stayed;
+        self.advanced = fifo;
         self.active = advanced;
         result
     }

@@ -12,7 +12,7 @@
 //! (`elements(w) ⊆ T`) and is reported as a [`TokenError`].
 
 use pv_dtd::{Dtd, ElemId};
-use pv_xml::{ChildToken, Document, NodeId};
+use pv_xml::{Document, NodeId};
 use std::fmt;
 
 /// One terminal of the grammar alphabet `Σ`.
@@ -116,25 +116,48 @@ impl Tokens {
         node: NodeId,
         dtd: &Dtd,
     ) -> Result<Vec<ChildSym>, TokenError> {
-        let toks = doc.child_tokens(node);
-        let mut out: Vec<ChildSym> = Vec::with_capacity(toks.len());
-        for t in toks {
-            match t {
-                // Merge σ runs straddling comments/PIs, mirroring δ_T.
-                ChildToken::Sigma => {
-                    if out.last() != Some(&ChildSym::Sigma) {
-                        out.push(ChildSym::Sigma);
-                    }
-                }
-                ChildToken::Element(name, id) => {
+        let mut out = Vec::with_capacity(doc.children(node).len());
+        Self::children_into(doc, node, dtd, &mut out)?;
+        Ok(out)
+    }
+
+    /// Scratch-buffer variant of [`Tokens::children`]: clears `out` and
+    /// fills it with the node's child-symbol sequence. The whole-document
+    /// checker calls this once per element node with one reusable buffer,
+    /// so the per-node hot path performs no allocation at all (the
+    /// `Vec`-returning variant, and the intermediate
+    /// [`pv_xml::ChildToken`] vector it used to build, are both avoided).
+    ///
+    /// Semantics are identical to [`Tokens::children`]: child elements
+    /// resolve against the DTD (undeclared names error), maximal runs of
+    /// non-empty character data collapse to one σ, and comments/PIs are
+    /// transparent — σ runs merge *across* them, mirroring `δ_T`.
+    pub fn children_into(
+        doc: &Document,
+        node: NodeId,
+        dtd: &Dtd,
+        out: &mut Vec<ChildSym>,
+    ) -> Result<(), TokenError> {
+        out.clear();
+        for &c in doc.children(node) {
+            match &doc.node(c).kind {
+                pv_xml::NodeKind::Element { name, .. } => {
                     let elem = dtd
                         .id(name)
-                        .ok_or_else(|| TokenError { name: name.to_owned(), node: id })?;
+                        .ok_or_else(|| TokenError { name: name.to_string(), node: c })?;
                     out.push(ChildSym::Elem(elem));
                 }
+                pv_xml::NodeKind::Text(t)
+                    if !t.is_empty() && out.last() != Some(&ChildSym::Sigma) =>
+                {
+                    out.push(ChildSym::Sigma);
+                }
+                // Comments/PIs carry no structure; σ runs merge across
+                // them exactly as `children` always reported.
+                _ => {}
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Renders a δ token string for diagnostics/tests, e.g.
@@ -214,6 +237,24 @@ mod tests {
         let syms = Tokens::children(&doc, a, &dtd).unwrap();
         let rendered: Vec<String> = syms.iter().map(|s| s.display(&dtd)).collect();
         assert_eq!(rendered, ["<b>", "<e>", "<c>", "σ"]);
+    }
+
+    #[test]
+    fn children_into_matches_children_and_reuses_buffer() {
+        let doc = pv_xml::parse(
+            "<r><a><b>A quick brown</b>mid<!-- note -->dle<e></e><c>x</c> dog</a></r>",
+        )
+        .unwrap();
+        let dtd = fig1();
+        let a = doc.children(doc.root())[0];
+        let mut buf = vec![ChildSym::Sigma; 8]; // stale contents must be cleared
+        Tokens::children_into(&doc, a, &dtd, &mut buf).unwrap();
+        assert_eq!(buf, Tokens::children(&doc, a, &dtd).unwrap());
+        // σ runs merge across the comment: b, σ, e, c, σ.
+        assert_eq!(buf.len(), 5);
+        // And the buffer is reusable for a different node.
+        Tokens::children_into(&doc, doc.root(), &dtd, &mut buf).unwrap();
+        assert_eq!(buf, Tokens::children(&doc, doc.root(), &dtd).unwrap());
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! The reverse-operation undo journal: O(edit)-cost snapshots.
+//!
+//! The session used to clone the whole [`Document`] before every guarded
+//! edit — O(document) work and allocation per keystroke-scale operation,
+//! the one part of the editing loop that ignored the paper's incremental
+//! cost model. The journal replaces each clone with the **inverse
+//! operations** of the edit just applied: undoing is replaying a unit, and
+//! recording costs only O(size of the edit) (a captured string, a couple
+//! of node ids).
+//!
+//! Soundness leans on `pv-xml`'s arena contract: tombstoned `NodeId`s are
+//! never reused, so an inverse op recorded today still names the right
+//! node after any number of later edits, and resurrection
+//! ([`Document::restore_node`] / [`Document::rewrap_children`]) restores
+//! the *identical* node — ids held by the application survive a
+//! delete/undo round trip, which the clone-based undo could not offer.
+
+use pv_xml::{Document, NodeId, XmlError};
+use std::collections::VecDeque;
+
+/// One primitive inverse operation. A unit (one undo step) is a short
+/// `Vec<RevOp>` applied in order.
+#[derive(Debug, Clone)]
+pub(crate) enum RevOp {
+    /// Restore a text node's previous contents.
+    SetText {
+        /// The text node.
+        node: NodeId,
+        /// Its previous contents.
+        text: String,
+    },
+    /// Resurrect a tombstoned childless node at `parent.children[index]`
+    /// (inverse of deleting/detaching a leaf).
+    Relink {
+        /// The tombstoned node.
+        node: NodeId,
+        /// Its previous parent.
+        parent: NodeId,
+        /// Its previous child index.
+        index: usize,
+    },
+    /// Re-wrap `count` children of `parent` starting at `index` back into
+    /// the tombstoned element `node` (inverse of markup deletion).
+    Rewrap {
+        /// The unwrapped (tombstoned) element.
+        node: NodeId,
+        /// Parent holding the spliced-up children.
+        parent: NodeId,
+        /// First spliced child's index.
+        index: usize,
+        /// Number of spliced children.
+        count: usize,
+    },
+    /// Unwrap the element `node` (inverse of markup insertion).
+    Unwrap {
+        /// The wrapper element to remove.
+        node: NodeId,
+    },
+    /// Detach and tombstone the subtree at `node` (inverse of an
+    /// insertion).
+    RemoveSubtree {
+        /// Root of the inserted subtree.
+        node: NodeId,
+    },
+    /// Restore an element's previous name (inverse of a rename).
+    Rename {
+        /// The renamed element.
+        node: NodeId,
+        /// Its previous name.
+        name: String,
+    },
+}
+
+impl RevOp {
+    /// Applies this inverse operation to `doc`. Every op here was recorded
+    /// against the exact post-edit state it reverses, so failures indicate
+    /// a journal bug, not a user error — the session surfaces them as
+    /// [`XmlError`]s instead of panicking.
+    pub(crate) fn apply(self, doc: &mut Document) -> Result<(), XmlError> {
+        match self {
+            RevOp::SetText { node, text } => doc.update_text(node, &text),
+            RevOp::Relink { node, parent, index } => doc.restore_node(node, parent, index),
+            RevOp::Rewrap { node, parent, index, count } => {
+                doc.rewrap_children(node, parent, index, count)
+            }
+            RevOp::Unwrap { node } => doc.unwrap_element(node),
+            RevOp::RemoveSubtree { node } => doc.remove_subtree(node),
+            RevOp::Rename { node, name } => doc.rename_element(node, &name),
+        }
+    }
+}
+
+/// Applies a whole unit in order.
+pub(crate) fn apply_unit(doc: &mut Document, unit: Vec<RevOp>) -> Result<(), XmlError> {
+    for op in unit {
+        op.apply(doc)?;
+    }
+    Ok(())
+}
+
+/// A bounded LIFO of undo units. The bound evicts from the *front* in
+/// O(1) (`VecDeque`), fixing the old `Vec::remove(0)` front-shift that
+/// cost O(len) on every edit past the cap.
+#[derive(Debug, Default)]
+pub(crate) struct UndoJournal {
+    units: VecDeque<Vec<RevOp>>,
+}
+
+/// Maximum retained undo depth (matches the previous snapshot stack).
+pub(crate) const UNDO_CAP: usize = 256;
+
+impl UndoJournal {
+    /// Records one undo unit, evicting the oldest past the cap.
+    pub(crate) fn push(&mut self, unit: Vec<RevOp>) {
+        if self.units.len() == UNDO_CAP {
+            self.units.pop_front();
+        }
+        self.units.push_back(unit);
+    }
+
+    /// Takes the most recent unit, if any.
+    pub(crate) fn pop(&mut self) -> Option<Vec<RevOp>> {
+        self.units.pop_back()
+    }
+
+    /// Number of undoable steps currently retained.
+    pub(crate) fn len(&self) -> usize {
+        self.units.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_caps_at_256_with_front_eviction() {
+        let node = Document::new("r").root();
+        let mut j = UndoJournal::default();
+        for i in 0..300usize {
+            j.push(vec![RevOp::Rename { node, name: i.to_string() }]);
+        }
+        assert_eq!(j.len(), UNDO_CAP);
+        // The most recent unit is still on top…
+        match j.pop().unwrap().pop().unwrap() {
+            RevOp::Rename { name, .. } => assert_eq!(name, "299"),
+            other => panic!("unexpected op {other:?}"),
+        }
+        // …and the oldest retained one is 300 - 256 + 1 = 45 (44 evicted,
+        // one just popped).
+        let mut last = None;
+        while let Some(mut unit) = j.pop() {
+            last = Some(unit.pop().unwrap());
+        }
+        match last.unwrap() {
+            RevOp::Rename { name, .. } => assert_eq!(name, "44"),
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+}

@@ -20,7 +20,14 @@
 //! back; the session also offers [`EditorSession::allowed_wraps`] — the
 //! "which tags can I apply to this selection?" query a tag-palette UI
 //! needs — and an undo stack.
+//!
+//! Undo (and guard rollback) is a **reverse-operation journal**: every
+//! applied edit records the O(edit-size) inverse ops that revert it, so no
+//! operation ever clones the document. The session's checker keeps its
+//! shape cache warm across edits, making repeated guards on unchanged
+//! shapes amortized hash lookups.
 
+mod journal;
 pub mod session;
 
 pub use session::{EditError, EditorSession, SessionStats};

@@ -1,7 +1,10 @@
 //! The editing session: a document plus the incremental PV guards.
 
+use crate::journal::{apply_unit, RevOp, UndoJournal};
 use pv_core::checker::{PvChecker, PvViolation};
+use pv_core::memo::MemoStats;
 use pv_core::recognizer::RecognizerStats;
+use pv_core::token::ChildSym;
 use pv_dtd::DtdAnalysis;
 use pv_xml::{Document, NodeId, XmlError};
 use std::fmt;
@@ -62,10 +65,21 @@ pub struct SessionStats {
 }
 
 /// An always-potentially-valid editing session.
+///
+/// Two amortization layers keep every operation at the paper's incremental
+/// cost, independent of document size:
+///
+/// * **Undo** is a reverse-operation journal (not document snapshots): a
+///   guarded edit records the O(edit-size) inverse ops that revert it, so
+///   applying, rejecting, or undoing an edit never clones the buffer.
+/// * The session's [`PvChecker`] persists across edits with its **shape
+///   cache** warm, so the two-ECPV guards of markup insertion/rename —
+///   and full [`EditorSession::verify_invariant`] sweeps — answer from
+///   the cache for every node shape the edit did not change.
 pub struct EditorSession<'a> {
     checker: PvChecker<'a>,
     doc: Document,
-    undo: Vec<Document>,
+    undo: UndoJournal,
     stats: SessionStats,
     /// Worker threads for full-document re-checks (1 = sequential,
     /// 0 = one per CPU). Incremental guards are O(1)/two-node and always
@@ -98,7 +112,7 @@ impl<'a> EditorSession<'a> {
             None => Ok(EditorSession {
                 checker,
                 doc,
-                undo: Vec::new(),
+                undo: UndoJournal::default(),
                 stats: SessionStats::default(),
                 jobs,
             }),
@@ -111,10 +125,24 @@ impl<'a> EditorSession<'a> {
         EditorSession {
             checker: PvChecker::new(analysis),
             doc,
-            undo: Vec::new(),
+            undo: UndoJournal::default(),
             stats: SessionStats::default(),
             jobs: 1,
         }
+    }
+
+    /// Enables or disables the checker's shape memoization for this
+    /// session (on by default; see
+    /// [`PvChecker::set_memo_enabled`]). Guard verdicts are identical
+    /// either way — this only trades cache memory for guard latency.
+    pub fn set_memo(&mut self, enabled: bool) {
+        self.checker.set_memo_enabled(enabled);
+    }
+
+    /// Telemetry of the session checker's shape cache, or `None` when
+    /// memoization is disabled.
+    pub fn memo_stats(&self) -> Option<MemoStats> {
+        self.checker.memo_stats()
     }
 
     /// Sets the worker-thread count for full-document re-checks
@@ -148,11 +176,18 @@ impl<'a> EditorSession<'a> {
     }
 
     // --- PV-preserving operations (Theorem 2): no guard -----------------
+    //
+    // Every operation records its inverse in the undo journal *after* the
+    // tree op succeeds (a failed op therefore leaves no trace), so each
+    // edit costs O(edit size) — never an O(document) snapshot.
 
     /// Replaces the text of an existing text node. Never rejected.
     pub fn update_text(&mut self, node: NodeId, text: &str) -> Result<(), EditError> {
-        self.snapshot();
-        self.doc.update_text(node, text).map_err(|e| self.fail(e))?;
+        let old =
+            if self.doc.is_alive(node) { self.doc.text(node).map(str::to_owned) } else { None };
+        self.doc.update_text(node, text)?;
+        let old = old.expect("update_text succeeded on a non-text node");
+        self.undo.push(vec![RevOp::SetText { node, text: old }]);
         self.stats.applied += 1;
         self.stats.constant_time_guards += 1;
         Ok(())
@@ -160,8 +195,12 @@ impl<'a> EditorSession<'a> {
 
     /// Deletes a text node. Never rejected.
     pub fn delete_text(&mut self, node: NodeId) -> Result<(), EditError> {
-        self.snapshot();
-        self.doc.delete_text(node).map_err(|e| self.fail(e))?;
+        let parent = if self.doc.is_alive(node) { self.doc.parent(node) } else { None };
+        let index = parent.and_then(|_| self.doc.child_index(node));
+        self.doc.delete_text(node)?;
+        let parent = parent.expect("deleted text node had a parent");
+        let index = index.expect("deleted text node had a child index");
+        self.undo.push(vec![RevOp::Relink { node, parent, index }]);
         self.stats.applied += 1;
         self.stats.constant_time_guards += 1;
         Ok(())
@@ -170,8 +209,15 @@ impl<'a> EditorSession<'a> {
     /// Removes an element's tag pair, splicing children up (markup
     /// deletion). Never rejected (Theorem 2).
     pub fn delete_markup(&mut self, node: NodeId) -> Result<(), EditError> {
-        self.snapshot();
-        self.doc.unwrap_element(node).map_err(|e| self.fail(e))?;
+        let (parent, index, count) = if self.doc.is_alive(node) {
+            (self.doc.parent(node), self.doc.child_index(node), self.doc.children(node).len())
+        } else {
+            (None, None, 0)
+        };
+        self.doc.unwrap_element(node)?;
+        let parent = parent.expect("unwrapped element had a parent");
+        let index = index.expect("unwrapped element had a child index");
+        self.undo.push(vec![RevOp::Rewrap { node, parent, index, count }]);
         self.stats.applied += 1;
         self.stats.constant_time_guards += 1;
         Ok(())
@@ -194,8 +240,8 @@ impl<'a> EditorSession<'a> {
             self.stats.rejected += 1;
             return Err(EditError::WouldBreakPv(v));
         }
-        self.snapshot();
-        let id = self.doc.insert_text(parent, index, text).map_err(|e| self.fail(e))?;
+        let id = self.doc.insert_text(parent, index, text)?;
+        self.undo.push(vec![RevOp::RemoveSubtree { node: id }]);
         self.stats.applied += 1;
         Ok(id)
     }
@@ -210,16 +256,16 @@ impl<'a> EditorSession<'a> {
         range: Range<usize>,
         name: &str,
     ) -> Result<NodeId, EditError> {
-        self.snapshot();
-        let node = self.doc.wrap_children(parent, range, name).map_err(|e| self.fail(e))?;
+        let node = self.doc.wrap_children(parent, range, name)?;
         let outcome = self.checker.check_markup_insertion(&self.doc, node, parent);
         self.absorb(outcome.stats);
         self.stats.ecpv_guards += 1;
         if let Some(v) = outcome.violation {
-            self.rollback();
+            apply_unit(&mut self.doc, vec![RevOp::Unwrap { node }]).map_err(EditError::Xml)?;
             self.stats.rejected += 1;
             return Err(EditError::WouldBreakPv(v));
         }
+        self.undo.push(vec![RevOp::Unwrap { node }]);
         self.stats.applied += 1;
         Ok(node)
     }
@@ -234,21 +280,48 @@ impl<'a> EditorSession<'a> {
         end: usize,
         name: &str,
     ) -> Result<NodeId, EditError> {
-        self.snapshot();
+        if !self.doc.is_alive(text_node) {
+            return Err(EditError::Xml(XmlError::edit("wrap_text: node is not alive")));
+        }
         let parent = self
             .doc
             .parent(text_node)
-            .ok_or_else(|| self.fail(XmlError::edit("wrap_text: detached node")))?;
-        let (node, _) =
-            self.doc.wrap_text_range(text_node, start, end, name).map_err(|e| self.fail(e))?;
+            .ok_or_else(|| EditError::Xml(XmlError::edit("wrap_text: detached node")))?;
+        let full = self
+            .doc
+            .text(text_node)
+            .map(str::to_owned)
+            .ok_or_else(|| EditError::Xml(XmlError::edit("wrap_text: not a text node")))?;
+        let index = self
+            .doc
+            .child_index(text_node)
+            .ok_or_else(|| EditError::Xml(XmlError::edit("wrap_text: node not in parent")))?;
+        let (node, _) = self.doc.wrap_text_range(text_node, start, end, name)?;
+        // Inverse unit, in application order: drop the pieces the split
+        // created (after-part first so indices stay put), then restore the
+        // original text node — in place if it survived as the before-part,
+        // by resurrection if the split started at 0 and detached it.
+        let mut unit = Vec::with_capacity(3);
+        let wrapper_idx = self.doc.child_index(node).expect("wrapper was just inserted");
+        if end < full.len() {
+            let after = self.doc.children(parent)[wrapper_idx + 1];
+            unit.push(RevOp::RemoveSubtree { node: after });
+        }
+        unit.push(RevOp::RemoveSubtree { node });
+        if start > 0 {
+            unit.push(RevOp::SetText { node: text_node, text: full });
+        } else {
+            unit.push(RevOp::Relink { node: text_node, parent, index });
+        }
         let outcome = self.checker.check_markup_insertion(&self.doc, node, parent);
         self.absorb(outcome.stats);
         self.stats.ecpv_guards += 1;
         if let Some(v) = outcome.violation {
-            self.rollback();
+            apply_unit(&mut self.doc, unit).map_err(EditError::Xml)?;
             self.stats.rejected += 1;
             return Err(EditError::WouldBreakPv(v));
         }
+        self.undo.push(unit);
         self.stats.applied += 1;
         Ok(node)
     }
@@ -256,16 +329,20 @@ impl<'a> EditorSession<'a> {
     /// Renames an element. Not PV-preserving in general; guarded by two
     /// ECPV runs.
     pub fn rename(&mut self, node: NodeId, name: &str) -> Result<(), EditError> {
-        self.snapshot();
-        self.doc.rename_element(node, name).map_err(|e| self.fail(e))?;
+        let old =
+            if self.doc.is_alive(node) { self.doc.name(node).map(str::to_owned) } else { None };
+        self.doc.rename_element(node, name)?;
+        let old = old.expect("renamed node had a name");
+        let unit = vec![RevOp::Rename { node, name: old }];
         let outcome = self.checker.check_rename(&self.doc, node);
         self.absorb(outcome.stats);
         self.stats.ecpv_guards += 1;
         if let Some(v) = outcome.violation {
-            self.rollback();
+            apply_unit(&mut self.doc, unit).map_err(EditError::Xml)?;
             self.stats.rejected += 1;
             return Err(EditError::WouldBreakPv(v));
         }
+        self.undo.push(unit);
         self.stats.applied += 1;
         Ok(())
     }
@@ -273,28 +350,76 @@ impl<'a> EditorSession<'a> {
     // --- queries ----------------------------------------------------------
 
     /// Element names that could legally wrap children `range` of `parent`
-    /// — the tag-palette query. Tries each declared element with the usual
-    /// two-ECPV guard and rolls back; cost `O(m · |children|)`.
+    /// — the tag-palette query. Simulates each declared element with the
+    /// usual two ECPV runs (wrapper content + parent's updated child
+    /// sequence) **purely at the symbol level**: the document is never
+    /// touched, so a read-only palette query allocates no tree nodes and
+    /// leaves the buffer byte-identical. Cost `O(m · |children|)`,
+    /// amortized further by the shape cache on repeat queries.
     pub fn allowed_wraps(&mut self, parent: NodeId, range: Range<usize>) -> Vec<String> {
-        let names: Vec<String> = self
-            .checker
-            .analysis()
-            .dtd
-            .iter()
-            .map(|(_, d)| d.name.to_string())
-            .collect();
-        let mut ok = Vec::new();
-        for name in names {
-            let before = self.doc.clone();
-            if let Ok(node) = self.doc.wrap_children(parent, range.clone(), &name) {
-                let outcome = self.checker.check_markup_insertion(&self.doc, node, parent);
-                self.absorb(outcome.stats);
-                if outcome.violation.is_none() {
-                    ok.push(name);
-                }
-            }
-            self.doc = before;
+        let analysis = self.checker.analysis();
+        if !self.doc.is_alive(parent) {
+            return Vec::new();
         }
+        let Some(parent_elem) = self.doc.name(parent).and_then(|n| analysis.id(n)) else {
+            return Vec::new();
+        };
+        let kids = self.doc.children(parent);
+        if range.start > range.end || range.end > kids.len() {
+            return Vec::new();
+        }
+        // Child symbols of the three spans, mirroring what a real wrap
+        // produces: σ runs merge within a span but never across the
+        // wrapper (it is an element), and the suffix starts a fresh run.
+        let mut inner: Vec<ChildSym> = Vec::new();
+        let mut outer: Vec<ChildSym> = Vec::new();
+        let mut spans_ok = true;
+        let mut collect = |ids: &[NodeId], out: &mut Vec<ChildSym>| {
+            for &c in ids {
+                if let Some(name) = self.doc.name(c) {
+                    match analysis.id(name) {
+                        Some(e) => out.push(ChildSym::Elem(e)),
+                        None => {
+                            spans_ok = false; // undeclared child: no wrap can pass
+                            return;
+                        }
+                    }
+                } else if let Some(t) = self.doc.text(c) {
+                    if !t.is_empty() && out.last() != Some(&ChildSym::Sigma) {
+                        out.push(ChildSym::Sigma);
+                    }
+                }
+                // Comments/PIs are structure-transparent, exactly as in
+                // Tokens::children_into.
+            }
+        };
+        collect(&kids[..range.start], &mut outer);
+        let wrapper_at = outer.len();
+        // Element placeholder (overwritten per candidate): being an
+        // element, it correctly stops σ runs from merging across the
+        // wrapper, and keeps the suffix starting a fresh run.
+        outer.push(ChildSym::Elem(parent_elem));
+        collect(&kids[range.clone()], &mut inner);
+        collect(&kids[range.end..], &mut outer);
+        if !spans_ok {
+            return Vec::new();
+        }
+        let mut ok = Vec::new();
+        let mut stats = RecognizerStats::default();
+        for (cand, decl) in analysis.dtd.iter() {
+            // The paper's two-ECPV guard, wrapper first; the parent check
+            // runs only when the wrapper content passes (same
+            // short-circuit as check_markup_insertion).
+            let inner_ok = self.checker.check_symbols(cand, &inner, &mut stats).is_none();
+            if !inner_ok {
+                continue;
+            }
+            outer[wrapper_at] = ChildSym::Elem(cand);
+            if self.checker.check_symbols(parent_elem, &outer, &mut stats).is_none() {
+                ok.push(decl.name.to_string());
+            }
+        }
+        self.absorb(stats);
         ok
     }
 
@@ -319,15 +444,19 @@ impl<'a> EditorSession<'a> {
             .collect()
     }
 
-    /// Reverts the last applied operation.
+    /// Reverts the last applied operation by replaying its recorded
+    /// inverse — O(size of that edit), regardless of document size.
+    /// NodeIds handed out before the undone edit remain valid (tombstoned
+    /// arena slots are resurrected, never reallocated).
     pub fn undo(&mut self) -> Result<(), EditError> {
-        match self.undo.pop() {
-            Some(doc) => {
-                self.doc = doc;
-                Ok(())
-            }
-            None => Err(EditError::NothingToUndo),
-        }
+        let unit = self.undo.pop().ok_or(EditError::NothingToUndo)?;
+        apply_unit(&mut self.doc, unit).map_err(EditError::Xml)
+    }
+
+    /// Number of operations currently undoable (the journal retains the
+    /// most recent 256).
+    pub fn undo_depth(&self) -> usize {
+        self.undo.len()
     }
 
     /// Re-checks the whole document (should always hold — exposed for
@@ -338,26 +467,6 @@ impl<'a> EditorSession<'a> {
     }
 
     // --- internals --------------------------------------------------------
-
-    fn snapshot(&mut self) {
-        // Whole-document clone: simple, correct undo. Editor buffers are
-        // human-scale; the hot path (checking) never clones.
-        self.undo.push(self.doc.clone());
-        if self.undo.len() > 256 {
-            self.undo.remove(0);
-        }
-    }
-
-    fn rollback(&mut self) {
-        let doc = self.undo.pop().expect("rollback follows snapshot");
-        self.doc = doc;
-    }
-
-    /// Drops the snapshot taken for a failed tree op and forwards the error.
-    fn fail(&mut self, e: XmlError) -> EditError {
-        self.undo.pop();
-        EditError::Xml(e)
-    }
 
     fn absorb(&mut self, s: RecognizerStats) {
         self.stats.recognizer.merge(&s);
@@ -511,6 +620,93 @@ mod tests {
     }
 
     #[test]
+    fn undo_round_trips_every_operation_kind() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let doc = pv_xml::parse("<r><a><b>brown</b><c>lazy</c> dog<e/></a></r>").unwrap();
+        let mut s = EditorSession::open(&analysis, doc).unwrap();
+        let a = s.document().children(s.document().root())[0];
+        let before = s.document().to_xml();
+
+        // delete_markup + undo (rewrap restores the exact structure).
+        let b = s.document().children(a)[0];
+        s.delete_markup(b).unwrap();
+        s.undo().unwrap();
+        assert_eq!(s.document().to_xml(), before);
+        // The original node id survived the delete/undo round trip.
+        assert_eq!(s.document().name(b), Some("b"));
+
+        // update_text + undo.
+        let t = s.document().children(b)[0];
+        s.update_text(t, "red").unwrap();
+        s.undo().unwrap();
+        assert_eq!(s.document().to_xml(), before);
+
+        // delete_text + undo.
+        s.delete_text(t).unwrap();
+        s.undo().unwrap();
+        assert_eq!(s.document().to_xml(), before);
+        assert_eq!(s.document().text(t), Some("brown"));
+
+        // rename + undo (c → f is accepted, then reverted).
+        let c = s.document().children(a)[1];
+        s.rename(c, "f").unwrap();
+        s.undo().unwrap();
+        assert_eq!(s.document().to_xml(), before);
+
+        // insert_markup (Figure 3's completing <d> around " dog"<e/>) +
+        // undo.
+        s.insert_markup(a, 2..4, "d").unwrap();
+        s.undo().unwrap();
+        assert_eq!(s.document().to_xml(), before);
+
+        // insert_text (merging into the trailing σ run) + undo.
+        s.insert_text(a, 3, "tail").unwrap();
+        s.undo().unwrap();
+        assert_eq!(s.document().to_xml(), before);
+
+        assert_eq!(s.undo_depth(), 0);
+        assert!(s.verify_invariant());
+    }
+
+    #[test]
+    fn wrap_text_undo_restores_all_split_cases() {
+        let analysis = BuiltinDtd::XhtmlBasic.analysis();
+        let doc = pv_xml::parse("<html><body><p>hello world</p></body></html>").unwrap();
+        let mut s = EditorSession::open(&analysis, doc).unwrap();
+        let p = s
+            .document()
+            .elements()
+            .find(|&n| s.document().name(n) == Some("p"))
+            .unwrap();
+        let t = s.document().children(p)[0];
+        let before = s.document().to_xml();
+
+        // Suffix wrap (no after-part).
+        s.wrap_text(t, 6, 11, "b").unwrap();
+        s.undo().unwrap();
+        assert_eq!(s.document().to_xml(), before);
+
+        // Prefix wrap from offset 0: the original text node is detached by
+        // the split and must be resurrected by the journal.
+        s.wrap_text(t, 0, 5, "b").unwrap();
+        s.undo().unwrap();
+        assert_eq!(s.document().to_xml(), before);
+        assert_eq!(s.document().text(t), Some("hello world"));
+
+        // Middle wrap (three pieces: before, wrapper, after).
+        s.wrap_text(t, 3, 8, "i").unwrap();
+        s.undo().unwrap();
+        assert_eq!(s.document().to_xml(), before);
+
+        // A rejected wrap (<li> under <p> is hopeless) rolls back via the
+        // same unit and records nothing.
+        assert!(matches!(s.wrap_text(t, 0, 5, "li"), Err(EditError::WouldBreakPv(_))));
+        assert_eq!(s.document().to_xml(), before);
+        assert_eq!(s.undo_depth(), 0);
+        assert!(s.verify_invariant());
+    }
+
+    #[test]
     fn rejected_ops_leave_no_undo_entry() {
         let analysis = BuiltinDtd::Figure1.analysis();
         let mut s = EditorSession::blank(&analysis);
@@ -538,6 +734,29 @@ mod tests {
         assert!(wraps.contains(&"a".to_owned()));
         assert!(wraps.contains(&"c".to_owned()));
         assert!(s.verify_invariant());
+    }
+
+    #[test]
+    fn allowed_wraps_is_read_only_and_allocation_free() {
+        let analysis = BuiltinDtd::Figure1.analysis();
+        let mut s = EditorSession::blank(&analysis);
+        let root = s.document().root();
+        s.insert_text(root, 0, "words").unwrap();
+        let xml = s.document().to_xml();
+        // Two arena allocations bracketing the palette query: if the query
+        // allocated (or tombstoned) any node, the indices would diverge by
+        // more than the undo'd probe itself.
+        let probe1 = s.insert_text(root, 0, "p").unwrap();
+        s.undo().unwrap();
+        let wraps = s.allowed_wraps(root, 0..1);
+        assert!(!wraps.is_empty());
+        assert_eq!(s.document().to_xml(), xml, "palette query mutated the buffer");
+        let probe2 = s.insert_text(root, 0, "p").unwrap();
+        assert_eq!(
+            probe2.index(),
+            probe1.index() + 1,
+            "allowed_wraps grew the node arena"
+        );
     }
 
     #[test]

@@ -84,15 +84,55 @@ where
     map_indexed_stats(jobs, len, f).0
 }
 
+/// [`map_indexed`] with **per-worker state**: every worker calls `init()`
+/// once when it starts and threads the resulting value mutably through all
+/// the tasks it executes (`f(&mut state, i)`).
+///
+/// This exists for reusable scratch buffers (the checker's recognizer
+/// scratch, a memo probe buffer): allocating them per *task* would defeat
+/// their purpose, and sharing one across workers would need locking. The
+/// determinism contract is unchanged — results come back in task order —
+/// but note that *which* tasks share a state value depends on scheduling,
+/// so `f` must not let the state influence its result (scratch, caches of
+/// pure computations, and counters folded elsewhere are all fine).
+///
+/// The sequential fallback (`jobs <= 1` or a 0/1-task region) builds one
+/// state and runs the plain loop on the calling thread.
+pub fn map_indexed_with<S, R, I, F>(jobs: usize, len: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    map_indexed_with_stats(jobs, len, init, f).0
+}
+
 /// [`map_indexed`], also reporting how the work spread over the workers.
 pub fn map_indexed_stats<R, F>(jobs: usize, len: usize, f: F) -> (Vec<R>, PoolStats)
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    map_indexed_with_stats(jobs, len, || (), |(), i| f(i))
+}
+
+/// [`map_indexed_with`], also reporting how the work spread over the
+/// workers.
+pub fn map_indexed_with_stats<S, R, I, F>(
+    jobs: usize,
+    len: usize,
+    init: I,
+    f: F,
+) -> (Vec<R>, PoolStats)
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
     let workers = effective_jobs(jobs).min(len.max(1));
     if workers <= 1 {
-        let out: Vec<R> = (0..len).map(&f).collect();
+        let mut state = init();
+        let out: Vec<R> = (0..len).map(|i| f(&mut state, i)).collect();
         return (out, PoolStats { executed_per_worker: vec![len as u64], steals: 0 });
     }
 
@@ -107,11 +147,13 @@ where
             .map(|w| {
                 let queues = &queues;
                 let steals = &steals;
+                let init = &init;
                 let f = &f;
                 s.spawn(move || {
+                    let mut state = init();
                     let mut out: Vec<(usize, R)> = Vec::new();
                     while let Some(i) = queues.next(w, steals) {
-                        out.push((i, f(i)));
+                        out.push((i, f(&mut state, i)));
                     }
                     out
                 })
@@ -173,6 +215,25 @@ mod tests {
     fn slice_map_borrows_without_arc() {
         let items = vec!["a".to_owned(), "bb".to_owned(), "ccc".to_owned()];
         assert_eq!(map(2, &items, |s| s.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn per_worker_state_is_built_once_per_worker_and_reused() {
+        // Scratch semantics: results must not depend on the state, but the
+        // state must visibly persist across the tasks one worker runs.
+        for jobs in [0, 1, 2, 4] {
+            let (out, stats) = map_indexed_with_stats(
+                jobs,
+                100,
+                Vec::<usize>::new,
+                |scratch, i| {
+                    scratch.push(i); // grows across this worker's tasks
+                    i * 2
+                },
+            );
+            assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>(), "jobs={jobs}");
+            assert_eq!(stats.executed_per_worker.iter().sum::<u64>(), 100);
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! branching behaviour.
 
 use pv_dtd::builtin::BuiltinDtd;
+use pv_dtd::DtdAnalysis;
 use pv_xml::Document;
 
 /// A play (PLAY DTD) with enough acts/scenes/speeches to reach roughly
@@ -182,6 +183,62 @@ pub fn batch(b: BuiltinDtd, docs: usize, target_elements: usize) -> Option<Vec<D
         .collect()
 }
 
+/// Number of leaf symbols under every `<s>` node of the [`repetitive`]
+/// corpus (and the number of optional `t` slots in `s`'s content model).
+pub const REPETITIVE_WIDTH: usize = 16;
+
+/// The DTD behind [`repetitive`]. Each `<s>` node's children are leaves
+/// that can only be absorbed by speculating an elided `t → u` chain per
+/// symbol (`md(t, v) = md(t, x) = 2`), so an **uncached** ECPV run over an
+/// `<s>` shape is deliberately expensive (nested-recognizer spawns), while
+/// a shape-memo hit is one hash of [`REPETITIVE_WIDTH`] symbols — the
+/// corpus family separates the two regimes cleanly.
+const REPETITIVE_DTD: &str = "\
+<!ELEMENT r (s*)>
+<!ELEMENT s (t?, t?, t?, t?, t?, t?, t?, t?, t?, t?, t?, t?, t?, t?, t?, t?)>
+<!ELEMENT t (u)>
+<!ELEMENT u (v?, x?)>
+<!ELEMENT v EMPTY>
+<!ELEMENT x EMPTY>";
+
+/// Compiled analysis of the [`repetitive`] corpus DTD (root `r`).
+pub fn repetitive_analysis() -> DtdAnalysis {
+    DtdAnalysis::parse(REPETITIVE_DTD, "r").expect("repetitive DTD is well-formed")
+}
+
+/// A deterministic shape-controlled corpus for the memoization benchmarks:
+/// roughly `target_elements` elements under [`repetitive_analysis`],
+/// organised as `<s>` blocks of [`REPETITIVE_WIDTH`] leaf children each.
+///
+/// Block `i` takes **shape code** `i % distinct_shapes`; bit `b` of the
+/// code decides whether leaf `b` is `<v>` or `<x>`, so the corpus contains
+/// exactly `min(distinct_shapes, blocks, 2^16)` distinct `(s, child
+/// sequence)` shapes. Sweeping `distinct_shapes` from `1` to `usize::MAX`
+/// moves a cold shape cache's hit rate from ~100% down to 0% (every block
+/// distinct — the adversarial regime) on documents whose node count,
+/// per-node work, and potential validity are otherwise identical.
+///
+/// Every generated document is potentially valid (each leaf sits in an
+/// elided `t → u` chain; `s` has enough optional `t` slots for any
+/// pattern) and the builder is allocation-deterministic: same arguments,
+/// bit-identical document.
+pub fn repetitive(target_elements: usize, distinct_shapes: usize) -> Document {
+    let distinct = distinct_shapes.clamp(1, 1 << REPETITIVE_WIDTH);
+    let blocks = std::cmp::max(1, target_elements.saturating_sub(1) / (REPETITIVE_WIDTH + 1));
+    let mut doc = Document::new("r");
+    let root = doc.root();
+    for i in 0..blocks {
+        let s = doc.append_element(root, "s").unwrap();
+        let code = i % distinct;
+        for bit in 0..REPETITIVE_WIDTH {
+            let name = if (code >> bit) & 1 == 1 { "x" } else { "v" };
+            doc.append_element(s, name).unwrap();
+        }
+    }
+    debug_assert!(doc.check_integrity().is_ok());
+    doc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +273,42 @@ mod tests {
     fn for_builtin_covers_realistic_dtds() {
         assert!(for_builtin(BuiltinDtd::Play, 100).is_some());
         assert!(for_builtin(BuiltinDtd::Figure1, 100).is_none());
+    }
+
+    #[test]
+    fn repetitive_corpus_is_pv_deterministic_and_shape_controlled() {
+        use pv_core::checker::PvChecker;
+        let analysis = repetitive_analysis();
+        let checker = PvChecker::new(&analysis);
+        for distinct in [1usize, 7, 64, usize::MAX] {
+            let doc = repetitive(2_000, distinct);
+            let again = repetitive(2_000, distinct);
+            assert_eq!(doc.to_xml(), again.to_xml(), "distinct={distinct}");
+            let count = doc.element_count();
+            assert!(
+                (1_900..2_100).contains(&count),
+                "distinct={distinct}: {count} elements"
+            );
+            assert!(
+                checker.check_document(&doc).is_potentially_valid(),
+                "distinct={distinct}"
+            );
+        }
+        // Shape-count control: a cold cache sees exactly `distinct` s-shapes
+        // (+1 for the root's own child sequence).
+        let mut checker = PvChecker::new(&analysis);
+        checker.set_memo_enabled(true);
+        let doc = repetitive(2_000, 7);
+        checker.check_document(&doc);
+        let stats = checker.memo_stats().unwrap();
+        assert_eq!(stats.entries, 8, "{stats:?}");
+        // All-distinct: every block its own shape.
+        let blocks = (2_000 - 1) / (REPETITIVE_WIDTH + 1);
+        let checker2 = PvChecker::new(&analysis);
+        checker2.check_document(&repetitive(2_000, usize::MAX));
+        let stats2 = checker2.memo_stats().unwrap();
+        assert_eq!(stats2.entries, blocks + 1, "{stats2:?}");
+        assert_eq!(stats2.hits, 0, "adversarial corpus must never hit cold");
     }
 
     #[test]

@@ -231,6 +231,80 @@ impl Document {
         Ok(())
     }
 
+    /// **Undo primitive** — resurrects a tombstoned *childless* node at
+    /// child position `index` of `parent`, with its payload (text,
+    /// attributes, name) exactly as it was when it died. This is the
+    /// inverse of detaching a leaf (text deletion, or the detach half of
+    /// [`Document::wrap_text_range`]); `pv-editor`'s O(edit)-cost undo
+    /// journal is its only intended caller.
+    ///
+    /// Tombstoned arena slots are never reused, so the node's id — and
+    /// every id the caller handed out before the deletion — stays valid
+    /// across a delete/undo round trip, which a snapshot-based undo could
+    /// not guarantee cheaply.
+    pub fn restore_node(&mut self, id: NodeId, parent: NodeId, index: usize) -> Result<()> {
+        self.expect_element(parent, "restore_node")?;
+        if id.index() >= self.nodes.len() || !self.nodes[id.index()].dead {
+            return Err(XmlError::edit(format!("restore_node: node {id} is not tombstoned")));
+        }
+        if !self.nodes[id.index()].children.is_empty() {
+            return Err(XmlError::edit(format!("restore_node: node {id} has children")));
+        }
+        let kids = &mut self.node_mut(parent).children;
+        if index > kids.len() {
+            return Err(XmlError::edit(format!(
+                "restore_node: index {index} out of bounds for {} children",
+                kids.len()
+            )));
+        }
+        kids.insert(index, id);
+        let n = &mut self.nodes[id.index()];
+        n.dead = false;
+        n.parent = Some(parent);
+        Ok(())
+    }
+
+    /// **Undo primitive** — the exact inverse of [`Document::unwrap_element`]:
+    /// resurrects the tombstoned element `id` and moves children
+    /// `parent.children[index .. index + count]` (the run the unwrap
+    /// spliced up) back inside it, splicing `id` into their place.
+    pub fn rewrap_children(
+        &mut self,
+        id: NodeId,
+        parent: NodeId,
+        index: usize,
+        count: usize,
+    ) -> Result<()> {
+        self.expect_element(parent, "rewrap_children")?;
+        if id.index() >= self.nodes.len() || !self.nodes[id.index()].dead {
+            return Err(XmlError::edit(format!("rewrap_children: node {id} is not tombstoned")));
+        }
+        if !self.nodes[id.index()].kind.is_element() {
+            return Err(XmlError::edit(format!("rewrap_children: node {id} is not an element")));
+        }
+        if !self.nodes[id.index()].children.is_empty() {
+            return Err(XmlError::edit(format!("rewrap_children: node {id} still has children")));
+        }
+        let len = self.children(parent).len();
+        if index.checked_add(count).is_none_or(|end| end > len) {
+            return Err(XmlError::edit(format!(
+                "rewrap_children: range {index}..{index}+{count} out of bounds for {len} children"
+            )));
+        }
+        let moved: Vec<NodeId> = self.node(parent).children[index..index + count].to_vec();
+        for &m in &moved {
+            self.node_mut(m).parent = Some(id);
+        }
+        {
+            let n = &mut self.nodes[id.index()];
+            n.dead = false;
+            n.parent = Some(parent);
+            n.children = moved;
+        }
+        self.node_mut(parent).children.splice(index..index + count, [id]);
+        Ok(())
+    }
+
     /// Removes the whole subtree rooted at `id` (element with all its
     /// descendants, or a single non-element node).
     pub fn remove_subtree(&mut self, id: NodeId) -> Result<()> {
@@ -426,6 +500,51 @@ mod tests {
         d.delete_text(t).unwrap();
         assert!(d.children(d.root()).is_empty());
         assert!(!d.is_alive(t));
+        d.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn restore_node_resurrects_deleted_text() {
+        let mut d = Document::new("r");
+        let a = d.append_element(d.root(), "a").unwrap();
+        let t = d.append_text(d.root(), "x").unwrap();
+        d.delete_text(t).unwrap();
+        assert!(!d.is_alive(t));
+        d.restore_node(t, d.root(), 1).unwrap();
+        assert!(d.is_alive(t));
+        assert_eq!(d.text(t), Some("x"));
+        assert_eq!(d.children(d.root()), &[a, t]);
+        d.check_integrity().unwrap();
+        // A live node cannot be restored again.
+        assert!(d.restore_node(t, d.root(), 0).is_err());
+        // Nor at an out-of-range index.
+        d.delete_text(t).unwrap();
+        assert!(d.restore_node(t, d.root(), 5).is_err());
+    }
+
+    #[test]
+    fn rewrap_children_inverts_unwrap_exactly() {
+        let mut d = Document::new("r");
+        let kids: Vec<NodeId> =
+            ["a", "b", "c"].iter().map(|n| d.append_element(d.root(), n).unwrap()).collect();
+        let x = d.wrap_children(d.root(), 1..3, "x").unwrap();
+        let before: Vec<NodeId> = d.children(d.root()).to_vec();
+        d.unwrap_element(x).unwrap();
+        assert_eq!(d.children(d.root()), &[kids[0], kids[1], kids[2]]);
+        d.rewrap_children(x, d.root(), 1, 2).unwrap();
+        assert_eq!(d.children(d.root()), &before[..]);
+        assert_eq!(d.children(x), &[kids[1], kids[2]]);
+        assert_eq!(d.parent(kids[1]), Some(x));
+        d.check_integrity().unwrap();
+        // Bad ranges and live targets are refused.
+        assert!(d.rewrap_children(x, d.root(), 0, 1).is_err());
+        let y = d.wrap_children(d.root(), 0..0, "y").unwrap();
+        d.unwrap_element(y).unwrap();
+        assert!(d.rewrap_children(y, d.root(), 1, 9).is_err());
+        // Zero-count rewrap resurrects an empty wrapper (inverse of
+        // unwrapping an empty element).
+        d.rewrap_children(y, d.root(), 0, 0).unwrap();
+        assert!(d.children(y).is_empty());
         d.check_integrity().unwrap();
     }
 
