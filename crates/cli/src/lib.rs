@@ -158,6 +158,17 @@ pub fn cmd_check(
             stats.entries,
         );
     }
+    // Speculation-agenda telemetry: a non-zero denial count means the
+    // per-symbol budget cut the hypothesis search short somewhere — the
+    // verdict MAY then be a false reject (never a false accept); zero
+    // certifies the run was exact.
+    let _ = writeln!(
+        report,
+        "  speculation: {} nested recognizers opened, {} requests budget-denied{}",
+        out.stats.subs_created,
+        out.stats.specs_denied,
+        if out.stats.specs_denied == 0 { " (exact)" } else { "" },
+    );
     (report, status)
 }
 

@@ -209,6 +209,14 @@ impl<'a> PvChecker<'a> {
         self.depth
     }
 
+    /// Documents below this many element nodes are always checked
+    /// sequentially, whatever `jobs` says: the scoped parallel region's
+    /// setup (~100 µs of thread spawning) outweighs per-node recognizer
+    /// work by orders of magnitude at this size. 512 nodes × ~100 ns/node
+    /// ≈ 50 µs of useful work is a conservative break-even floor;
+    /// `experiments --table parallel` prints both regimes.
+    pub const PARALLEL_MIN_NODES: usize = 512;
+
     /// Definition 3's root condition `root(w) = r`, shared verbatim by the
     /// sequential and parallel document checks (the bit-identity guarantee
     /// between them depends on both using exactly this).
@@ -269,10 +277,16 @@ impl<'a> PvChecker<'a> {
     /// is ever skipped); a potentially valid document gets no such
     /// shortcut and every node is checked, just as sequentially.
     ///
-    /// `jobs <= 1` delegates to the sequential checker outright.
+    /// `jobs <= 1` delegates to the sequential checker outright, as does
+    /// any document below [`PvChecker::PARALLEL_MIN_NODES`] element nodes:
+    /// spinning up a parallel region costs on the order of 100 µs, which
+    /// dominates small documents completely, so `--jobs 0`/auto only
+    /// shards when the per-node work can plausibly amortize it (the
+    /// threshold is visible in `experiments --table parallel`). The
+    /// outcome is bit-identical either way.
     pub fn check_document_parallel(&self, doc: &Document, jobs: usize) -> PvOutcome {
         let jobs = pv_par::effective_jobs(jobs);
-        if jobs <= 1 {
+        if jobs <= 1 || doc.element_count() < Self::PARALLEL_MIN_NODES {
             return self.check_document(doc);
         }
         // Root check first, exactly as in the sequential path.

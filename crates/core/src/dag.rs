@@ -49,6 +49,14 @@ pub struct ElementDag {
     /// is accepted without consulting the graph (paper Section 4: ECPV for
     /// ANY "presents no practical interest").
     pub is_any: bool,
+    /// Transitive successor closure, row-major: `within[from · len + to]`
+    /// is `true` iff `to` is reachable from `from` along `succs` edges
+    /// (strictly — a node does not reach itself). The recognizer's
+    /// speculation agenda uses it to recognize *dominated* elision
+    /// requests: a fresh same-element speculation at a position reachable
+    /// from an already-parked one adds no accepting run (every position
+    /// in between is skippable), so it is pruned.
+    within: Vec<bool>,
 }
 
 impl ElementDag {
@@ -70,15 +78,42 @@ impl ElementDag {
         &self.nodes[id as usize]
     }
 
+    /// `true` iff `to` is strictly reachable from `from` along successor
+    /// edges (the precomputed transitive closure).
+    #[inline]
+    pub fn follows(&self, from: DagNodeId, to: DagNodeId) -> bool {
+        self.within[from as usize * self.nodes.len() + to as usize]
+    }
+
     fn build(model: &NormModel) -> ElementDag {
         match model {
-            NormModel::Any => ElementDag { nodes: Vec::new(), starts: Vec::new(), is_any: true },
+            NormModel::Any => ElementDag {
+                nodes: Vec::new(),
+                starts: Vec::new(),
+                is_any: true,
+                within: Vec::new(),
+            },
             NormModel::Expr(e) => {
                 let mut nodes: Vec<DagNode> = Vec::new();
                 let frag = lower(e, &mut nodes);
                 // Wire internal follow edges; `starts` are the fragment's
                 // entry nodes. Sinks simply have no successors.
-                ElementDag { nodes, starts: frag.starts, is_any: false }
+                let n = nodes.len();
+                let mut within = vec![false; n * n];
+                // Edges point to higher ranks, so one reverse sweep closes
+                // the relation: row(i) = union of succs and their rows.
+                for i in (0..n).rev() {
+                    for si in 0..nodes[i].succs.len() {
+                        let s = nodes[i].succs[si] as usize;
+                        within[i * n + s] = true;
+                        for t in 0..n {
+                            if within[s * n + t] {
+                                within[i * n + t] = true;
+                            }
+                        }
+                    }
+                }
+                ElementDag { nodes, starts: frag.starts, is_any: false, within }
             }
         }
     }
@@ -171,7 +206,30 @@ pub struct DagSet {
     /// exactly the same accept/reject question for *fresh* nested
     /// recognizers in O(1), restoring Theorem 4's `O(k·D)` per symbol.
     probe: Vec<u32>,
+    /// Per element, row-major `node · (m + 1) + x`: what a skip cascade
+    /// from `node` could still reach for symbol `x` — [`HINT_NONE`] (no
+    /// position in the forward closure reacts to `x` at all),
+    /// [`HINT_MANY`] (several reaction kinds / elements), or the index of
+    /// the single element whose elision requests are the *only* reaction.
+    /// The recognizer uses it to cut cascades that provably cannot add
+    /// work: long optional chains (`(t?, t?, …)`) would otherwise be
+    /// walked end-to-end for every symbol.
+    hints: Vec<Vec<u32>>,
     m: usize,
+}
+
+/// [`DagSet`] cascade-hint sentinel: nothing in the closure reacts.
+const HINT_NONE: u32 = u32::MAX;
+/// [`DagSet`] cascade-hint sentinel: more than one kind of reaction.
+const HINT_MANY: u32 = u32::MAX - 1;
+
+/// Joins two hint values (commutative, associative, `HINT_NONE` neutral).
+fn hint_join(a: u32, b: u32) -> u32 {
+    match (a, b) {
+        (HINT_NONE, v) | (v, HINT_NONE) => v,
+        (a, b) if a == b => a,
+        _ => HINT_MANY,
+    }
 }
 
 impl DagSet {
@@ -182,7 +240,8 @@ impl DagSet {
         let total_nodes = dags.iter().map(|d| d.len()).sum();
         let m = dags.len();
         let probe = build_probe_table(analysis, &dags);
-        DagSet { dags, total_nodes, probe, m }
+        let hints = build_cascade_hints(analysis, &dags, &probe, m);
+        DagSet { dags, total_nodes, probe, hints, m }
     }
 
     /// The DAG for element `x`.
@@ -203,6 +262,104 @@ impl DagSet {
     pub fn min_elisions_sigma(&self, y: ElemId) -> u32 {
         self.probe[y.index() * (self.m + 1) + self.m]
     }
+
+    /// `true` iff a same-symbol skip cascade from `node` in `DAG_y` is
+    /// provably fruitless: no position in `node`'s forward closure reacts
+    /// to `x` — or the only reactions are elision requests for
+    /// `dominator`, all of which sit downstream of an already-parked
+    /// request for that element and would be pruned as dominated anyway.
+    #[inline]
+    pub fn cascade_dead(
+        &self,
+        y: ElemId,
+        node: DagNodeId,
+        x: u32,
+        dominator: Option<ElemId>,
+    ) -> bool {
+        let hint = self.hints[y.index()][node as usize * (self.m + 1) + x as usize];
+        hint == HINT_NONE || dominator.is_some_and(|d| hint == d.index() as u32)
+    }
+
+    /// Column index of an element symbol in the md/hint tables.
+    #[inline]
+    pub fn col_of_elem(&self, e: ElemId) -> u32 {
+        e.index() as u32
+    }
+
+    /// Column index of the σ symbol in the md/hint tables.
+    #[inline]
+    pub fn col_sigma(&self) -> u32 {
+        self.m as u32
+    }
+}
+
+/// Builds the per-element cascade-hint tables: for every DAG node and
+/// symbol, join the *self-reactions* of every node in the forward closure.
+/// A node self-reacts to `x` as `HINT_MANY` when it can match without a
+/// fresh elision (matching star-group, PCDATA on σ, equality element) and
+/// as its element index when only `md`-gated elision could react; the
+/// depth gate is ignored here, which only errs toward keeping a cascade.
+fn build_cascade_hints(
+    analysis: &DtdAnalysis,
+    dags: &[ElementDag],
+    probe: &[u32],
+    m: usize,
+) -> Vec<Vec<u32>> {
+    let cols = m + 1;
+    let reach = &analysis.reach;
+    let self_react = |node: &DagNode, x: usize| -> u32 {
+        match &node.kind {
+            DagNodeKind::Pcdata => {
+                if x == m {
+                    HINT_MANY
+                } else {
+                    HINT_NONE
+                }
+            }
+            DagNodeKind::Group(g) => {
+                let matches = if x == m {
+                    g.pcdata || g.elems.iter().any(|&w| reach.reaches_pcdata(w))
+                } else {
+                    let xe = ElemId(x as u32);
+                    g.contains(xe) || g.elems.iter().any(|&w| reach.reaches(w, xe))
+                };
+                if matches {
+                    HINT_MANY
+                } else {
+                    HINT_NONE
+                }
+            }
+            DagNodeKind::Simple(z) => {
+                if x == z.index() {
+                    // Equality is a cost-0 reaction: always live.
+                    HINT_MANY
+                } else if probe[z.index() * cols + x] != u32::MAX {
+                    z.index() as u32
+                } else {
+                    HINT_NONE
+                }
+            }
+        }
+    };
+    dags.iter()
+        .map(|dag| {
+            let n = dag.len();
+            let mut hints = vec![HINT_NONE; n * cols];
+            // Edges point to higher ranks: one reverse sweep closes the
+            // join over each node's successors and their closures.
+            for i in (0..n).rev() {
+                for x in 0..cols {
+                    let mut h = HINT_NONE;
+                    for &s in &dag.nodes[i].succs {
+                        h = hint_join(h, self_react(&dag.nodes[s as usize], x));
+                        h = hint_join(h, hints[s as usize * cols + x]);
+                    }
+                    hints[i * cols + x] = h;
+                }
+            }
+            hints
+        })
+        .collect()
 }
 
 /// Builds the minimal-elision-distance table by Bellman–Ford-style

@@ -339,7 +339,7 @@ mod tests {
     fn verdict(failing: Option<u32>) -> MemoVerdict {
         MemoVerdict {
             failing,
-            stats: RecognizerStats { symbols: 3, node_visits: 7, subs_created: 1 },
+            stats: RecognizerStats { symbols: 3, node_visits: 7, subs_created: 1, specs_denied: 0 },
         }
     }
 

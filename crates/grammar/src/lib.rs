@@ -21,6 +21,9 @@
 //!   valid.
 //! * [`naive`] — a brute-force tag-insertion search, the ground-truth
 //!   oracle for differential testing on tiny instances.
+//! * [`oracle`] — the cached-grammar [`oracle::EarleyOracle`] for *bulk*
+//!   differential comparison: one grammar per DTD, whole corpora checked
+//!   against a `PvChecker` in one call (the completeness suites' API).
 //! * [`derivative`] — a Brzozowski-derivative content matcher: a second,
 //!   code-independent implementation of content-model matching that
 //!   cross-checks the NFA validator.
@@ -29,10 +32,12 @@ pub mod derivative;
 pub mod earley;
 pub mod ecfg;
 pub mod naive;
+pub mod oracle;
 pub mod validator;
 pub mod witness;
 
 pub use earley::EarleyRecognizer;
 pub use ecfg::{Grammar, GrammarMode};
+pub use oracle::{Divergence, EarleyOracle};
 pub use validator::{validate_document, validate_tokens, ValidityViolation};
 pub use witness::{complete_document, complete_tokens, Witness};

@@ -239,6 +239,125 @@ pub fn repetitive(target_elements: usize, distinct_shapes: usize) -> Document {
     doc
 }
 
+/// The densely recursive adversarial DTD family behind the
+/// recognizer-completeness suites: `depth` levels of `fanout` elements
+/// each (`k = depth · fanout`), wired as per-column chains with a braided
+/// interconnect — `x{l}_j → (x{l+1}_j | x{l+1}_{j+1 mod f})` — a
+/// **recursive re-entry at the middle level** (`x0_j` as a third
+/// alternative, making the family PV-strong recursive) and a mixed
+/// bottom level `(#PCDATA | x0_j)*` whose star reaches the whole
+/// alphabet.
+///
+/// The shape is engineered to stress the speculation agenda:
+///
+/// * `md(x{l}_j, σ) = depth − 1 − l` spreads the md spectrum, so agenda
+///   ordering (not DTD declaration order) decides which chain opens
+///   first;
+/// * absorbing an explicit `x{m}` or a second sibling takes a chain of
+///   elisions down to the bottom star — the committed-sub/budget-drain
+///   class (gap a of the PR 4 completeness audit) reproduces on it under
+///   the old scheduler once `depth · fanout ≥ 32` pushes the budget into
+///   its scaled regime;
+/// * the mid-level re-entry plus the choice-of-two interconnect creates
+///   equality/elision branch points (gap b) at every level.
+///
+/// Chains are column-local (not a complete bipartite lattice), keeping
+/// the per-symbol hypothesis count near-linear in `k` — the regime the
+/// scaled budget covers; `tests/completeness.rs` asserts the certified
+/// configurations are divergence-free against the exact Earley oracle,
+/// and that on over-budget configurations (deep braids are exponential
+/// in hypothesis count) every divergence is flagged by
+/// `RecognizerStats::specs_denied`, never silent.
+pub fn recursive_dtd_source(depth: usize, fanout: usize) -> String {
+    let depth = depth.max(2);
+    let fanout = fanout.max(1);
+    let mut src = String::new();
+    for l in 0..depth {
+        for j in 0..fanout {
+            let name = format!("x{l}_{j}");
+            if l + 1 == depth {
+                src.push_str(&format!("<!ELEMENT {name} (#PCDATA | x0_{j})*>\n"));
+            } else {
+                let mut alts: Vec<String> = vec![format!("x{}_{j}", l + 1)];
+                let braid = format!("x{}_{}", l + 1, (j + 1) % fanout);
+                if !alts.contains(&braid) {
+                    alts.push(braid);
+                }
+                if l == depth / 2 {
+                    alts.push(format!("x0_{j}"));
+                }
+                src.push_str(&format!("<!ELEMENT {name} ({})>\n", alts.join(" | ")));
+            }
+        }
+    }
+    src
+}
+
+/// Compiled analysis of [`recursive_dtd_source`]`(depth, fanout)`, rooted
+/// at `x0_0`.
+pub fn recursive_analysis(depth: usize, fanout: usize) -> DtdAnalysis {
+    DtdAnalysis::parse(&recursive_dtd_source(depth, fanout), "x0_0")
+        .expect("recursive family DTD is well-formed")
+}
+
+/// Deterministic stripped documents for the [`recursive_analysis`] family:
+/// every document is potentially valid (verified against the Earley
+/// oracle by `tests/completeness.rs`), but recognizing one forces elision
+/// chains of up to `depth` levels. The set contains, for each level `l`:
+/// a bare σ run under an explicit level-`l` element, explicit chains
+/// broken at `l` (children that skip one level), sibling runs mixing σ
+/// with explicit elements, and a recursive re-entry (`x0_0` under the
+/// bottom level).
+pub fn recursive(depth: usize, fanout: usize) -> Vec<Document> {
+    let depth = depth.max(1);
+    let fanout = fanout.max(1);
+    let name = |l: usize, j: usize| format!("x{l}_{j}");
+    let mut docs = Vec::new();
+    // Bare text at the root: needs the full depth of elisions.
+    let mut d = Document::new(&name(0, 0));
+    d.append_text(d.root(), "t").unwrap();
+    docs.push(d);
+    for l in 1..depth {
+        for j in 0..fanout.min(3) {
+            // An explicit level-l element directly under the root (skips
+            // l − 1 levels of markup), carrying bare text.
+            let mut d = Document::new(&name(0, 0));
+            let mid = d.append_element(d.root(), &name(l, j)).unwrap();
+            d.append_text(mid, "t").unwrap();
+            docs.push(d);
+            // The same with a recursive re-entry next to the text.
+            let mut d = Document::new(&name(0, 0));
+            let mid = d.append_element(d.root(), &name(l, j)).unwrap();
+            d.append_text(mid, "t").unwrap();
+            d.append_element(mid, &name(0, 0)).unwrap();
+            docs.push(d);
+        }
+    }
+    // Sibling runs under the root: σ then explicit elements from two
+    // different levels (only one child can be legal per choice parse, the
+    // rest must be absorbed by recursive elision).
+    if depth >= 2 {
+        let mut d = Document::new(&name(0, 0));
+        let root = d.root();
+        d.append_text(root, "t").unwrap();
+        d.append_element(root, &name(1, 0)).unwrap();
+        d.append_element(root, &name(depth - 1, fanout.min(2) - 1)).unwrap();
+        docs.push(d);
+    }
+    // A full explicit chain root → bottom, then text.
+    let mut d = Document::new(&name(0, 0));
+    let mut at = d.root();
+    for l in 1..depth {
+        at = d.append_element(at, &name(l, (l * 7) % fanout)).unwrap();
+    }
+    d.append_text(at, "t").unwrap();
+    docs.push(d);
+    for doc in &docs {
+        debug_assert!(doc.check_integrity().is_ok());
+    }
+    docs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

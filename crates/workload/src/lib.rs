@@ -14,12 +14,16 @@
 //! * [`corpus`] — deterministic realistic documents for the built-in DTD
 //!   corpus (Shakespeare-play, XHTML, TEI) with a target size in tokens;
 //! * [`trace`] — editorial traces: op sequences that rebuild a valid
-//!   document from less-marked-up states, replayable through `pv-editor`.
+//!   document from less-marked-up states, replayable through `pv-editor`;
+//! * [`sweep`] — exhaustive bounded enumeration of tiny DTD × document
+//!   spaces (every content-model assignment × every small tree), the
+//!   substrate of the recognizer-completeness proof suites.
 
 pub mod corpus;
 pub mod docgen;
 pub mod dtdgen;
 pub mod mutate;
+pub mod sweep;
 pub mod trace;
 
 pub use docgen::DocGen;

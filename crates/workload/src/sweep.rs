@@ -1,0 +1,275 @@
+//! Exhaustive bounded enumeration of tiny DTD/document spaces for the
+//! recognizer-completeness sweeps.
+//!
+//! Randomized differential testing ([`crate::dtdgen`] + [`crate::docgen`] +
+//! [`crate::mutate`]) samples big spaces thinly; the completeness proof
+//! wants the opposite regime — **every** DTD over a couple of element
+//! names crossed with **every** document up to a bounded node count, so a
+//! divergence class cannot hide between samples. The spaces are tiny
+//! enough to close out exactly:
+//!
+//! * [`enumerate_dtds`] — the cartesian product of a curated content-model
+//!   catalogue over `k` element names (every element gets every model),
+//!   covering EMPTY/ANY/PCDATA, sequences, choices, star groups, mixed
+//!   content, optionality, and the self/mutual recursion shapes (the T1/T2
+//!   regimes of the paper) that drive elision speculation;
+//! * [`enumerate_documents`] — every ordered labeled tree over the same
+//!   `k` names plus σ text runs, up to a total node budget, rooted at the
+//!   first name (the designated root of every enumerated DTD).
+//!
+//! Sizes stay deliberately small (see the table in [`enumerate_documents`])
+//! — the suites in `tests/completeness.rs` pick bounds so the default run
+//! is a few seconds and the nightly sweep can raise them via env knobs.
+
+use pv_dtd::DtdAnalysis;
+use pv_xml::Document;
+
+/// Element names used by the enumerated spaces: `a`, `b`, `c`, …
+/// (`k ≤ 4`; the exhaustive regime is only tractable for tiny alphabets).
+pub const SWEEP_NAMES: [&str; 4] = ["a", "b", "c", "d"];
+
+/// The content-model catalogue over the first `k` sweep names, as DTD
+/// content-spec strings. Deterministic order; every enumerated DTD assigns
+/// each element one entry.
+///
+/// The catalogue is built from shape templates instantiated with every
+/// (ordered) choice of names, deduplicated:
+/// `EMPTY`, `ANY`, `(#PCDATA)`, mixed `(#PCDATA | x)*`, the unary shapes
+/// `(x)`, `(x?)`, `(x*)`, `(x+)`, the binary shapes `(x, y)`, `(x?, y)`,
+/// `(x, y?)`, `(x | y)`, `(x, y*)`, and the paper's T2 shape `((x | y), y)`.
+pub fn model_catalogue(k: usize) -> Vec<String> {
+    let names = &SWEEP_NAMES[..k.clamp(1, SWEEP_NAMES.len())];
+    let mut out: Vec<String> = vec!["EMPTY".into(), "ANY".into(), "(#PCDATA)".into()];
+    for &x in names {
+        out.push(format!("(#PCDATA | {x})*"));
+        out.push(format!("({x})"));
+        out.push(format!("({x}?)"));
+        out.push(format!("({x}*)"));
+        out.push(format!("({x}+)"));
+    }
+    for &x in names {
+        for &y in names {
+            out.push(format!("({x}, {y})"));
+            out.push(format!("({x}?, {y})"));
+            out.push(format!("({x}, {y}?)"));
+            if x < y {
+                out.push(format!("({x} | {y})"));
+            }
+            out.push(format!("({x}, {y}*)"));
+            out.push(format!("(({x} | {y}), {y})"));
+        }
+    }
+    out.dedup();
+    out
+}
+
+/// A trimmed catalogue for `k ≥ 3`, where the full cartesian product is
+/// intractable: drops the redundant unary/optional variants and keeps the
+/// shapes that exercise distinct recognizer paths (sequencing, choice,
+/// star groups, mixed content, recursion).
+pub fn model_catalogue_small(k: usize) -> Vec<String> {
+    let names = &SWEEP_NAMES[..k.clamp(1, SWEEP_NAMES.len())];
+    let mut out: Vec<String> = vec!["EMPTY".into(), "(#PCDATA)".into()];
+    // One mixed-content shape and a couple of multi-atom shapes chosen to
+    // chain the whole alphabet (recursion arises from the product anyway).
+    out.push(format!("(#PCDATA | {})*", names[0]));
+    for &x in names {
+        out.push(format!("({x}?)"));
+    }
+    for w in names.windows(2) {
+        out.push(format!("({}, {})", w[0], w[1]));
+        out.push(format!("({} | {})", w[0], w[1]));
+        out.push(format!("(({} | {}), {})", w[0], w[1], w[1]));
+        out.push(format!("({}, {}*)", w[0], w[1]));
+    }
+    out.dedup();
+    out
+}
+
+/// Every DTD assigning one of `models` to each of the first `k` sweep
+/// names, compiled with root = the first name. Combinations the DTD layer
+/// rejects — notably assignments leaving an element *unusable* (violating
+/// the problem precondition that every declared element can occur in some
+/// valid document) — are skipped; the survivors are exactly the legal
+/// problem instances of the space.
+pub fn enumerate_dtds(k: usize, models: &[String]) -> Vec<DtdAnalysis> {
+    let names = &SWEEP_NAMES[..k.clamp(1, SWEEP_NAMES.len())];
+    let mut out = Vec::new();
+    let mut idx = vec![0usize; names.len()];
+    loop {
+        let mut src = String::new();
+        for (name, &mi) in names.iter().zip(idx.iter()) {
+            src.push_str(&format!("<!ELEMENT {name} {}>", models[mi]));
+        }
+        if let Ok(analysis) = DtdAnalysis::parse(&src, names[0]) {
+            out.push(analysis);
+        }
+        // Odometer increment over the model indices.
+        let mut pos = 0;
+        loop {
+            if pos == idx.len() {
+                return out;
+            }
+            idx[pos] += 1;
+            if idx[pos] < models.len() {
+                break;
+            }
+            idx[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// One enumerated tree: a text run, or an element with a child forest.
+#[derive(Clone)]
+enum Tree {
+    Text,
+    Elem(usize, Vec<Tree>),
+}
+
+impl Tree {
+    fn nodes(&self) -> usize {
+        match self {
+            Tree::Text => 1,
+            Tree::Elem(_, children) => {
+                1 + children.iter().map(Tree::nodes).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// All forests over `k` names with at most `budget` total nodes, skipping
+/// adjacent text runs (the `δ` view collapses them, so they would only
+/// duplicate coverage).
+fn forests(k: usize, budget: usize) -> Vec<Vec<Tree>> {
+    let mut out = vec![Vec::new()];
+    if budget == 0 {
+        return out;
+    }
+    for first_size in 1..=budget {
+        // Every tree of exactly `first_size` nodes…
+        let firsts = trees(k, first_size);
+        // …followed by every remaining forest.
+        for rest in forests(k, budget - first_size) {
+            for t in &firsts {
+                if matches!(t, Tree::Text)
+                    && matches!(rest.first(), Some(Tree::Text))
+                {
+                    continue; // σσ collapses to σ
+                }
+                let mut f = Vec::with_capacity(1 + rest.len());
+                f.push(t.clone());
+                f.extend(rest.iter().cloned());
+                out.push(f);
+            }
+        }
+    }
+    out
+}
+
+/// All trees of exactly `size` nodes over `k` names (σ leaves allowed).
+fn trees(k: usize, size: usize) -> Vec<Tree> {
+    let mut out = Vec::new();
+    if size == 0 {
+        return out;
+    }
+    if size == 1 {
+        out.push(Tree::Text);
+    }
+    for forest in forests(k, size - 1) {
+        if forest.iter().map(Tree::nodes).sum::<usize>() != size - 1 {
+            continue;
+        }
+        for name in 0..k {
+            out.push(Tree::Elem(name, forest.clone()));
+        }
+    }
+    out
+}
+
+/// Every document rooted at the first sweep name with at most `max_nodes`
+/// nodes in total (the root included; σ runs count one node each). The
+/// documents are DTD-independent — enumerate once, reuse across the whole
+/// DTD product.
+pub fn enumerate_documents(k: usize, max_nodes: usize) -> Vec<Document> {
+    let k = k.clamp(1, SWEEP_NAMES.len());
+    let mut out = Vec::new();
+    // `forests` yields every forest of total size ≤ budget exactly once
+    // (the first tree's size fixes a unique decomposition), so one call
+    // with the full budget covers the whole space.
+    for forest in forests(k, max_nodes.max(1) - 1) {
+        let mut doc = Document::new(SWEEP_NAMES[0]);
+        let root = doc.root();
+        build_forest(&mut doc, root, &forest);
+        debug_assert!(doc.check_integrity().is_ok());
+        out.push(doc);
+    }
+    out
+}
+
+fn build_forest(doc: &mut Document, parent: pv_xml::NodeId, forest: &[Tree]) {
+    for tree in forest {
+        match tree {
+            Tree::Text => {
+                doc.append_text(parent, "t").unwrap();
+            }
+            Tree::Elem(name, children) => {
+                let node = doc.append_element(parent, SWEEP_NAMES[*name]).unwrap();
+                build_forest(doc, node, children);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_deduplicated_and_parses() {
+        let models = model_catalogue(2);
+        for (i, m) in models.iter().enumerate() {
+            assert!(!models[..i].contains(m), "duplicate model {m}");
+            // Syntactic well-formedness (usability is assignment-dependent
+            // and checked by enumerate_dtds itself).
+            let src = format!("<!ELEMENT a {m}><!ELEMENT b EMPTY>");
+            pv_dtd::Dtd::parse(&src).unwrap_or_else(|e| panic!("{m}: {e}"));
+        }
+        assert!(models.len() >= 20, "{}", models.len());
+        assert!(model_catalogue_small(3).len() < models.len());
+    }
+
+    #[test]
+    fn dtd_product_covers_the_legal_instances() {
+        let models = model_catalogue(1);
+        let dtds = enumerate_dtds(1, &models);
+        // Single-element space: models forcing unbounded self-recursion
+        // (e.g. `(a)` — no finite valid document exists) are filtered;
+        // EMPTY/ANY/PCDATA/mixed/optional/star survive.
+        assert!((5..models.len()).contains(&dtds.len()), "{}", dtds.len());
+        let models2 = model_catalogue_small(2);
+        let dtds2 = enumerate_dtds(2, &models2);
+        // Unusable-element assignments (e.g. a EMPTY with b unreachable)
+        // are filtered; a meaningful slice of the product must survive.
+        assert!(dtds2.len() > 10, "{}", dtds2.len());
+        assert!(dtds2.len() < models2.len() * models2.len());
+        // Root is always the first sweep name.
+        assert!(dtds2.iter().all(|a| a.name(a.root) == "a"));
+    }
+
+    #[test]
+    fn document_enumeration_counts_and_contains_known_shapes() {
+        let docs = enumerate_documents(2, 4);
+        // Exactly one empty <a/>; every doc within the node budget.
+        assert_eq!(docs.iter().filter(|d| d.live_count() == 1).count(), 1);
+        assert!(docs.iter().all(|d| d.live_count() <= 4));
+        // No two serialize identically (enumeration is duplicate-free).
+        let mut xml: Vec<String> = docs.iter().map(|d| d.to_xml()).collect();
+        let n = xml.len();
+        xml.sort();
+        xml.dedup();
+        assert_eq!(xml.len(), n, "duplicate documents enumerated");
+        assert!(xml.contains(&"<a><b>t</b></a>".to_owned()), "missing known shape");
+        assert!(xml.contains(&"<a><a/><b/></a>".to_owned()), "missing known shape");
+    }
+}

@@ -220,3 +220,45 @@ fn depth_budget_is_monotone_on_strong_dtds() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Depth monotonicity as a *property* (Theorem 2 closure): for random
+// DTD/document pairs across every class, acceptance at depth D implies
+// acceptance at every depth ≥ D. The PR 1 regression class broke exactly
+// this (budget starvation made acceptance degrade as the bound grew);
+// the cost-ordered agenda must keep it monotone everywhere.
+// ---------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn acceptance_is_monotone_in_the_depth_bound(
+        seed in 0u64..1u64 << 48,
+        class_ix in 0usize..3,
+        strip in 2usize..14,
+    ) {
+        let class = classes()[class_ix];
+        let analysis = DtdGen::new(
+            seed,
+            DtdGenParams { class, elements: 6, max_model_atoms: 4, ..Default::default() },
+        )
+        .generate();
+        let mut doc = DocGen::new(&analysis, seed ^ 0xD0C).generate(22);
+        Mutator::new(seed).delete_random_markup(&mut doc, strip);
+        if seed % 3 == 0 {
+            Mutator::new(seed ^ 5).swap_random_siblings(&mut doc);
+        }
+        let mut prev = false;
+        for d in [0u32, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64] {
+            let checker = PvChecker::with_policy(&analysis, DepthPolicy::Bounded(d));
+            let now = checker.check_document(&doc).is_potentially_valid();
+            prop_assert!(
+                !prev || now,
+                "acceptance degraded as the depth bound grew: seed={} class={} d={}\n{}",
+                seed, class, d, analysis.dtd
+            );
+            prev = now;
+        }
+    }
+}
