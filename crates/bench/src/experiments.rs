@@ -467,6 +467,8 @@ fn table_real_dtds() {
         (BuiltinDtd::Play, 5000usize),
         (BuiltinDtd::XhtmlBasic, 5000),
         (BuiltinDtd::TeiLite, 5000),
+        (BuiltinDtd::DocbookArticle, 5000),
+        (BuiltinDtd::TeiDrama, 5000),
     ] {
         let analysis = b.analysis();
         let mut doc = corpus::for_builtin(b, target).unwrap();
@@ -549,6 +551,39 @@ fn table_parallel() {
             fmt_dur(t),
             t_small_seq.as_secs_f64() / t.as_secs_f64().max(f64::EPSILON),
             out == seq_out
+        );
+    }
+
+    // Persistent pool vs scoped spawning: the same checks dispatched to
+    // parked workers (pv_par::Pool via CheckEngine) instead of freshly
+    // scoped threads. The difference is pure region-setup cost, which is
+    // why the saving concentrates on small documents.
+    use pv_core::engine::CheckEngine;
+    use std::sync::Arc;
+    let engine = CheckEngine::new(BuiltinDtd::Play.analysis());
+    let pool = pv_par::Pool::new(2);
+    println!(
+        "\n| small doc (nodes) | scoped spawn (jobs=2) | persistent pool (jobs=2) | pool saving | outcome identical |"
+    );
+    println!("|---|---|---|---|---|");
+    for target in [600usize, 2048, 8192] {
+        let doc = Arc::new(corpus::play(target));
+        let seq_out = checker.check_document(&doc);
+        let scoped_out = checker.check_document_parallel(&doc, 2);
+        let pooled_out = engine.check_document_pooled(&doc, &pool, 2, true);
+        let t_scoped = median(9, || {
+            std::hint::black_box(checker.check_document_parallel(&doc, 2));
+        });
+        let t_pooled = median(9, || {
+            std::hint::black_box(engine.check_document_pooled(&doc, &pool, 2, true));
+        });
+        println!(
+            "| {} | {} | {} | {:+.1}% | {} |",
+            doc.element_count(),
+            fmt_dur(t_scoped),
+            fmt_dur(t_pooled),
+            100.0 * (t_pooled.as_secs_f64() / t_scoped.as_secs_f64().max(f64::EPSILON) - 1.0),
+            scoped_out == seq_out && pooled_out == seq_out,
         );
     }
 

@@ -18,17 +18,20 @@
 //! * `experiments --table classes` — DTD classes at fixed size (claim X5);
 //! * `experiments --table real-dtds` — realistic corpora (claim X6);
 //! * `experiments --table parallel` — sharded checking on the pv-par
-//!   work-stealing pool: per-node sharding of one large document and
-//!   per-document sharding of a batch, with speedup vs. the sequential
-//!   checker and an outcome-identity column (claim X7 — this
-//!   reproduction's own addition; the paper is purely sequential);
+//!   work-stealing pool: per-node sharding of one large document,
+//!   two-level sharding of a batch, and the persistent-pool-vs-scoped
+//!   region-setup comparison, with speedup vs. the sequential checker
+//!   and an outcome-identity column (claim X7 — this reproduction's own
+//!   addition; the paper is purely sequential);
 //! * `experiments --table memo` — shape-memoized checking (claim X8, also
 //!   an addition): ns/node with the verdict cache off / warm / cold over
 //!   the `repetitive` corpus family's hit-rate sweep, with hit rate,
 //!   resident cache entries, and a bit-identity column per row.
 //!
 //! The same workloads back the Criterion benches under `benches/`
-//! (including `parallel_scaling`). Set `BENCH_JSON=path` while running
+//! (including `parallel_scaling` and the end-to-end `service` bench,
+//! which measures full wire round trips against a live `pv-service`
+//! server). Set `BENCH_JSON=path` while running
 //! `cargo bench` to also append machine-readable results to a JSON file —
 //! the repository's `BENCH_*.json` baselines are captured that way (see
 //! BENCHMARKS.md at the repo root).

@@ -2,28 +2,45 @@
 //!
 //! See `pvx --help` or the crate docs of `pv-cli` for usage.
 
-use pv_cli::{cmd_check, cmd_classify, cmd_complete, cmd_lint, cmd_validate, resolve_dtd, Status};
+use pv_cli::{
+    cmd_check, cmd_check_remote, cmd_classify, cmd_complete, cmd_lint, cmd_validate,
+    render_check_error, resolve_dtd, CheckOpts, Status,
+};
 use pv_core::depth::DepthPolicy;
+use pv_service::{Client, Endpoint, Server};
 
 const USAGE: &str = "\
 pvx — potential validity of document-centric XML (ICDE 2006)
 
 USAGE:
-  pvx check    [--dtd FILE --root NAME | --builtin NAME] [--depth N] [--jobs N] [--no-memo] DOC.xml...
+  pvx check    [--dtd FILE --root NAME | --builtin NAME] [--depth N] [--jobs N]
+               [--no-memo] [--json] [--remote ADDR] DOC.xml...
   pvx validate [--dtd FILE --root NAME | --builtin NAME] [--ignore-whitespace] DOC.xml...
   pvx complete [--dtd FILE --root NAME | --builtin NAME] DOC.xml
   pvx classify (--dtd FILE --root NAME | --builtin NAME)
   pvx lint     (--dtd FILE --root NAME | --builtin NAME)
+  pvx serve    (--socket PATH | --port N) [--jobs N]
 
 Without --dtd/--builtin, documents must carry an internal DTD subset
 (<!DOCTYPE root [ ... ]>). Builtins: figure1, t1, t2, xhtml-basic,
-tei-lite, play, docbook-like, dissertation.
+tei-lite, play, docbook-like, dissertation, docbook-article, tei-drama.
 
 --jobs N shards the per-node checks of `check` over N worker threads
 (0 = one per CPU; default 1 = sequential). `check` memoizes repeated
 (element, child-shape) verdicts and reports cache telemetry on a
 trailing `memo:` line; --no-memo disables the cache. The verdict and
 the diagnosis are identical at any job/memo setting.
+
+--json makes `check` print one machine-readable JSON line per document
+(verdict, first violation, memo/speculation counters) instead of text.
+
+`pvx serve` runs the resident validation server: a persistent
+work-stealing pool (parked workers — no per-request thread spawns) and,
+per loaded DTD, pre-compiled DAGs plus a warm shape cache shared across
+requests. `pvx check --remote ADDR` ships documents to such a server
+(ADDR is the socket path or host:port) and renders the bit-identical
+outcome; the DTD resolves locally as usual and is loaded (idempotently)
+into the server on first use.
 
 EXIT CODES: 0 ok / potentially valid · 1 check failed · 2 usage or parse error";
 
@@ -33,8 +50,12 @@ struct Args {
     root: Option<String>,
     builtin: Option<String>,
     depth: Option<u32>,
-    jobs: usize,
+    jobs: Option<usize>,
     memo: bool,
+    json: bool,
+    remote: Option<String>,
+    socket: Option<String>,
+    port: Option<u16>,
     ignore_whitespace: bool,
     docs: Vec<String>,
 }
@@ -48,8 +69,12 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         builtin: None,
         depth: None,
-        jobs: 1,
+        jobs: None,
         memo: true,
+        json: false,
+        remote: None,
+        socket: None,
+        port: None,
         ignore_whitespace: false,
         docs: Vec::new(),
     };
@@ -67,9 +92,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--jobs" => {
                 let v = need_value(&mut argv, "--jobs")?;
-                args.jobs = v.parse().map_err(|_| format!("bad --jobs {v:?}"))?;
+                args.jobs = Some(v.parse().map_err(|_| format!("bad --jobs {v:?}"))?);
             }
             "--no-memo" => args.memo = false,
+            "--json" => args.json = true,
+            "--remote" => args.remote = Some(need_value(&mut argv, "--remote")?),
+            "--socket" => args.socket = Some(need_value(&mut argv, "--socket")?),
+            "--port" => {
+                let v = need_value(&mut argv, "--port")?;
+                args.port = Some(v.parse().map_err(|_| format!("bad --port {v:?}"))?);
+            }
             "--ignore-whitespace" => args.ignore_whitespace = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -82,6 +114,77 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(Status::Error.code());
+}
+
+fn cmd_serve(args: &Args) -> ! {
+    let endpoint = match (&args.socket, args.port) {
+        (Some(path), None) => Endpoint::Unix(path.into()),
+        (None, Some(port)) => Endpoint::Tcp(format!("127.0.0.1:{port}")),
+        _ => die("serve needs exactly one of --socket PATH or --port N"),
+    };
+    // `check` defaults to sequential, but a server wants every CPU:
+    // unset --jobs means 0 (one parked worker per CPU) here.
+    let jobs = args.jobs.unwrap_or(0);
+    match Server::bind(&endpoint, jobs) {
+        Err(e) => die(&format!("cannot bind {endpoint}: {e}")),
+        Ok(handle) => {
+            println!(
+                "pvx serve: listening on {} (pool: {} persistent workers)",
+                handle.endpoint(),
+                pv_par::effective_jobs(jobs)
+            );
+            handle.join();
+            std::process::exit(0);
+        }
+    }
+}
+
+/// Loads the `--builtin`/`--dtd` DTD into the server (idempotent),
+/// returning the handle — or `None` when the DTD comes from each
+/// document's internal subset (see [`remote_handle_for_doc`]). Resolved
+/// **once** per run: the handle does not depend on the document, so
+/// re-shipping the DTD source per document would only waste round trips.
+fn remote_handle_fixed(
+    client: &mut Client,
+    args: &Args,
+    dtd_src: Option<&str>,
+) -> Option<Result<String, String>> {
+    if let Some(name) = &args.builtin {
+        return Some(client.load_builtin(name).map(|i| i.handle).map_err(|e| e.to_string()));
+    }
+    if let Some(src) = dtd_src {
+        return Some(match args.root.as_deref() {
+            None => Err("--dtd requires --root NAME".to_owned()),
+            Some(root) => {
+                client.load_dtd(root, src).map(|i| i.handle).map_err(|e| e.to_string())
+            }
+        });
+    }
+    None
+}
+
+/// The per-document fallback: load the document's internal DTD subset
+/// (interned server-side, so repeated subsets share one engine).
+fn remote_handle_for_doc(
+    client: &mut Client,
+    args: &Args,
+    doc: &pv_xml::Document,
+) -> Result<String, String> {
+    let dt = doc
+        .doctype
+        .as_ref()
+        .ok_or("document has no <!DOCTYPE …> and no --dtd/--builtin was given")?;
+    let subset = dt
+        .internal_subset
+        .as_deref()
+        .ok_or("document DOCTYPE has no internal subset; pass --dtd")?;
+    let root = args.root.clone().unwrap_or_else(|| dt.name.clone());
+    client.load_dtd(&root, subset).map(|i| i.handle).map_err(|e| e.to_string())
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -91,14 +194,37 @@ fn main() {
         }
     };
 
+    if args.command == "serve" {
+        cmd_serve(&args);
+    }
+
+    if args.remote.is_some() {
+        if args.command != "check" {
+            // Silently validating/completing locally while connected to a
+            // server would misattribute the work; refuse instead.
+            die("--remote is only supported by `pvx check`");
+        }
+        if args.depth.is_some() {
+            // The wire protocol has no depth parameter: the server's
+            // engines run under their automatic depth policy. A silently
+            // different verdict would be worse than an error.
+            die("--depth cannot be combined with --remote (the server uses its automatic depth policy)");
+        }
+    }
+
     let dtd_src = match &args.dtd_file {
         None => None,
         Some(path) => match std::fs::read_to_string(path) {
             Ok(s) => Some(s),
-            Err(e) => {
-                eprintln!("error: cannot read DTD {path}: {e}");
-                std::process::exit(Status::Error.code());
-            }
+            Err(e) => die(&format!("cannot read DTD {path}: {e}")),
+        },
+    };
+
+    let mut remote = match &args.remote {
+        None => None,
+        Some(addr) => match Client::connect(addr) {
+            Ok(c) => Some(c),
+            Err(e) => die(&format!("cannot connect to {addr}: {e}")),
         },
     };
 
@@ -113,10 +239,7 @@ fn main() {
                 None,
             ) {
                 Ok(c) => c,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    std::process::exit(Status::Error.code());
-                }
+                Err(e) => die(&e),
             };
             let (report, status) = if args.command == "classify" {
                 cmd_classify(&ctx)
@@ -131,23 +254,71 @@ fn main() {
                 eprintln!("error: no documents given\n\n{USAGE}");
                 std::process::exit(Status::Error.code());
             }
+            // Under `check --json`, per-document failures must also come
+            // out as JSON lines on stdout (a JSON-lines consumer reads
+            // one object per document, success or not); other commands
+            // keep plain stderr diagnostics.
+            let json_errors = args.json && args.command == "check";
+            // With --remote and a fixed DTD (--builtin/--dtd), one LOAD
+            // round trip serves every document.
+            let fixed_handle = match remote.as_mut() {
+                Some(client) if args.command == "check" => {
+                    remote_handle_fixed(client, &args, dtd_src.as_deref())
+                }
+                _ => None,
+            };
             for path in &args.docs {
+                let fail = |msg: String, worst: &mut Status| {
+                    if json_errors {
+                        print!("{}", render_check_error(path, &msg, true));
+                    } else {
+                        eprintln!("{path}: {msg}");
+                    }
+                    *worst = Status::Error;
+                };
                 let text = match std::fs::read_to_string(path) {
                     Ok(t) => t,
                     Err(e) => {
-                        eprintln!("{path}: cannot read: {e}");
-                        worst = Status::Error;
+                        fail(format!("cannot read: {e}"), &mut worst);
                         continue;
                     }
                 };
                 let doc = match pv_xml::parse(&text) {
                     Ok(d) => d,
                     Err(e) => {
-                        eprintln!("{path}: not well-formed: {e}");
-                        worst = Status::Error;
+                        fail(format!("not well-formed: {e}"), &mut worst);
                         continue;
                     }
                 };
+                let opts = CheckOpts {
+                    depth: match args.depth {
+                        Some(d) => DepthPolicy::Bounded(d),
+                        None => DepthPolicy::Auto,
+                    },
+                    jobs: args.jobs.unwrap_or(1),
+                    memo: args.memo,
+                    json: args.json,
+                };
+                // The remote check path: DTD resolves locally, loads
+                // (idempotently) into the server, the document ships over
+                // the wire, and the renderer is the same as local.
+                if args.command == "check" {
+                    if let Some(client) = remote.as_mut() {
+                        let handle = match &fixed_handle {
+                            Some(fixed) => fixed.clone(),
+                            None => remote_handle_for_doc(client, &args, &doc),
+                        };
+                        let (report, status) = match handle {
+                            Err(e) => (render_check_error(path, &e, opts.json), Status::Error),
+                            Ok(handle) => cmd_check_remote(client, &handle, path, &text, &opts),
+                        };
+                        print!("{report}");
+                        if status.code() > worst.code() {
+                            worst = status;
+                        }
+                        continue;
+                    }
+                }
                 let ctx = match resolve_dtd(
                     dtd_src.as_deref(),
                     args.root.as_deref(),
@@ -156,17 +327,12 @@ fn main() {
                 ) {
                     Ok(c) => c,
                     Err(e) => {
-                        eprintln!("{path}: {e}");
-                        worst = Status::Error;
+                        fail(e, &mut worst);
                         continue;
                     }
                 };
-                let depth = match args.depth {
-                    Some(d) => DepthPolicy::Bounded(d),
-                    None => DepthPolicy::Auto,
-                };
                 let (report, status) = match args.command.as_str() {
-                    "check" => cmd_check(&ctx, path, &doc, depth, args.jobs, args.memo),
+                    "check" => cmd_check(&ctx, path, &doc, &opts),
                     "validate" => cmd_validate(&ctx, path, &doc, args.ignore_whitespace),
                     _ => cmd_complete(&ctx, path, &doc),
                 };

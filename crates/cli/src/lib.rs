@@ -25,13 +25,15 @@
 //! part of this crate (this module) holds the testable command
 //! implementations; `src/bin/pvx.rs` is a thin argv wrapper.
 
-use pv_core::checker::PvChecker;
+use pv_core::checker::{PvChecker, PvOutcome};
 use pv_core::depth::DepthPolicy;
+use pv_core::memo::MemoStats;
 use pv_core::token::Tokens;
 use pv_dtd::builtin::BuiltinDtd;
 use pv_dtd::{ContentSpec, Dtd, DtdAnalysis};
 use pv_grammar::validator::{validate_document_with, ContentAutomata, ValidateOptions};
 use pv_grammar::witness::{complete_document, complete_tokens};
+use pv_service::json;
 use pv_xml::Document;
 use std::fmt::Write as _;
 
@@ -108,35 +110,91 @@ pub fn resolve_dtd(
     Ok(DtdContext { analysis, source: "internal subset".to_owned() })
 }
 
-/// `pvx check`: potential validity with diagnosis. Returns the report text
-/// and status. `jobs` shards the per-node recognizer runs over that many
-/// worker threads (`1` = sequential, `0` = one per available CPU); `memo`
-/// toggles shape-memoized checking (the `--no-memo` flag passes `false`).
-/// The verdict and diagnosis are bit-identical at any `jobs`/`memo`
-/// setting; only the trailing `memo:` telemetry line (hit/miss counts are
-/// scheduling-dependent under parallel checking) varies.
-pub fn cmd_check(
-    ctx: &DtdContext,
-    name: &str,
-    doc: &Document,
-    depth: DepthPolicy,
-    jobs: usize,
-    memo: bool,
-) -> (String, Status) {
-    let mut checker = PvChecker::with_policy(&ctx.analysis, depth);
-    checker.set_memo_enabled(memo);
-    let out = checker.check_document_parallel(doc, jobs);
+/// Options of a `pvx check` run (local or remote).
+#[derive(Debug, Clone, Copy)]
+pub struct CheckOpts {
+    /// The depth policy (`--depth N` ⇒ `Bounded(N)`).
+    pub depth: DepthPolicy,
+    /// Worker threads (`1` = sequential, `0` = one per available CPU /
+    /// every server pool worker).
+    pub jobs: usize,
+    /// Shape memoization (`--no-memo` passes `false`).
+    pub memo: bool,
+    /// Emit one machine-readable JSON line per document instead of text.
+    pub json: bool,
+}
+
+impl Default for CheckOpts {
+    fn default() -> Self {
+        CheckOpts { depth: DepthPolicy::Auto, jobs: 1, memo: true, json: false }
+    }
+}
+
+/// Everything a check report needs, local or remote: the outcome plus the
+/// DTD context it ran under.
+pub struct CheckReport {
+    /// The (bit-identical-everywhere) outcome.
+    pub outcome: PvOutcome,
+    /// Cache telemetry, when memoization ran. Local checks report this
+    /// run's counters; remote checks report the server's (warm,
+    /// server-lifetime) counters.
+    pub memo: Option<MemoStats>,
+    /// Where the DTD came from (`builtin:play`, `--dtd`, …).
+    pub source: String,
+    /// The DTD's recursion class, rendered.
+    pub class: String,
+    /// Depth budget the check ran under.
+    pub depth: u32,
+}
+
+/// Renders a check report as the human text block or as one JSON line —
+/// the single rendering path shared by local and `--remote` checks, so
+/// both read identically.
+pub fn render_check(name: &str, r: &CheckReport, json_out: bool) -> (String, Status) {
+    let status = if r.outcome.is_potentially_valid() { Status::Ok } else { Status::Failed };
+    if json_out {
+        let mut line = String::from("{\"doc\":");
+        json::write_str(&mut line, name);
+        let _ = write!(
+            line,
+            ",\"potentially_valid\":{},\"verdict\":",
+            r.outcome.is_potentially_valid()
+        );
+        json::write_str(
+            &mut line,
+            if r.outcome.is_potentially_valid() { "potentially-valid" } else { "not-potentially-valid" },
+        );
+        line.push_str(",\"dtd\":");
+        json::write_str(&mut line, &r.source);
+        line.push_str(",\"class\":");
+        json::write_str(&mut line, &r.class);
+        let _ = write!(line, ",\"depth\":{},\"outcome\":", r.depth);
+        json::write_outcome(&mut line, &r.outcome);
+        match &r.outcome.violation {
+            None => line.push_str(",\"violation_text\":null"),
+            Some(v) => {
+                line.push_str(",\"violation_text\":");
+                json::write_str(&mut line, &v.to_string());
+            }
+        }
+        line.push_str(",\"memo\":");
+        match &r.memo {
+            Some(m) => json::write_memo(&mut line, m),
+            None => line.push_str("null"),
+        }
+        line.push_str("}\n");
+        return (line, status);
+    }
     let mut report = String::new();
-    let status = match &out.violation {
+    match &r.outcome.violation {
         None => {
             let _ = writeln!(
                 report,
                 "{name}: POTENTIALLY VALID (dtd: {}, class: {}, depth budget: {})",
-                ctx.source,
-                ctx.analysis.rec.class,
-                if checker.depth() == u32::MAX { "∞".to_owned() } else { checker.depth().to_string() },
+                r.source,
+                r.class,
+                if r.depth == u32::MAX { "∞".to_owned() } else { r.depth.to_string() },
             );
-            Status::Ok
         }
         Some(v) => {
             let _ = writeln!(report, "{name}: NOT potentially valid");
@@ -145,10 +203,9 @@ pub fn cmd_check(
                 report,
                 "  (no insertion of markup can repair this; deletion or renaming is required)"
             );
-            Status::Failed
         }
-    };
-    if let Some(stats) = checker.memo_stats() {
+    }
+    if let Some(stats) = &r.memo {
         let _ = writeln!(
             report,
             "  memo: {} hits / {} misses ({:.1}% hit rate), {} cached shapes",
@@ -165,11 +222,72 @@ pub fn cmd_check(
     let _ = writeln!(
         report,
         "  speculation: {} nested recognizers opened, {} requests budget-denied{}",
-        out.stats.subs_created,
-        out.stats.specs_denied,
-        if out.stats.specs_denied == 0 { " (exact)" } else { "" },
+        r.outcome.stats.subs_created,
+        r.outcome.stats.specs_denied,
+        if r.outcome.stats.specs_denied == 0 { " (exact)" } else { "" },
     );
     (report, status)
+}
+
+/// Renders a check-level *error* (unreadable file, malformed document,
+/// unresolvable DTD, remote failure) in the mode the run asked for: a
+/// plain text line, or — under `--json` — a `{"doc":…,"ok":false,…}`
+/// line, so JSON-lines consumers never hit bare text mid-stream.
+pub fn render_check_error(name: &str, msg: &str, json_out: bool) -> String {
+    if json_out {
+        let mut line = String::from("{\"doc\":");
+        json::write_str(&mut line, name);
+        line.push_str(",\"ok\":false,\"error\":");
+        json::write_str(&mut line, msg);
+        line.push_str("}\n");
+        line
+    } else {
+        format!("{name}: {msg}\n")
+    }
+}
+
+/// `pvx check`: potential validity with diagnosis, in-process. Returns
+/// the report text (or JSON line) and status. The verdict and diagnosis
+/// are bit-identical at any `jobs`/`memo` setting; only the `memo:`
+/// telemetry (hit/miss counts are scheduling-dependent under parallel
+/// checking) varies.
+pub fn cmd_check(ctx: &DtdContext, name: &str, doc: &Document, opts: &CheckOpts) -> (String, Status) {
+    let mut checker = PvChecker::with_policy(&ctx.analysis, opts.depth);
+    checker.set_memo_enabled(opts.memo);
+    let outcome = checker.check_document_parallel(doc, opts.jobs);
+    let report = CheckReport {
+        outcome,
+        memo: checker.memo_stats(),
+        source: ctx.source.clone(),
+        class: ctx.analysis.rec.class.to_string(),
+        depth: checker.depth(),
+    };
+    render_check(name, &report, opts.json)
+}
+
+/// `pvx check --remote`: ship the document to a resident `pvx serve` and
+/// render its (bit-identical) outcome with the same renderer as the local
+/// path. `handle` comes from a prior [`pv_service::Client`] load call.
+pub fn cmd_check_remote(
+    client: &mut pv_service::Client,
+    handle: &str,
+    name: &str,
+    xml: &str,
+    opts: &CheckOpts,
+) -> (String, Status) {
+    match client.check(handle, xml, opts.jobs, opts.memo) {
+        Err(e) => (render_check_error(name, &e.to_string(), opts.json), Status::Error),
+        Ok(remote) => {
+            let report = CheckReport {
+                outcome: remote.outcome,
+                memo: remote.memo,
+                source: remote.label,
+                class: remote.class,
+                depth: remote.depth,
+            };
+            render_check(name, &report, opts.json)
+        }
+    }
 }
 
 /// `pvx validate`: standard DTD validity.
@@ -334,23 +452,51 @@ mod tests {
     fn check_reports_both_ways() {
         let ctx = fig1_ctx();
         let s = pv_xml::parse("<r><a><b>x</b><c>y</c> z<e/></a></r>").unwrap();
-        let (rep, st) = cmd_check(&ctx, "s", &s, DepthPolicy::Auto, 1, true);
+        let (rep, st) = cmd_check(&ctx, "s", &s, &CheckOpts::default());
         assert_eq!(st, Status::Ok);
         assert!(rep.contains("POTENTIALLY VALID"));
         assert!(rep.contains("memo:"), "memo telemetry line expected: {rep}");
         let w = pv_xml::parse("<r><a><b>x</b><e/><c>y</c></a></r>").unwrap();
-        let (rep, st) = cmd_check(&ctx, "w", &w, DepthPolicy::Auto, 1, true);
+        let (rep, st) = cmd_check(&ctx, "w", &w, &CheckOpts::default());
         assert_eq!(st, Status::Failed);
         assert!(rep.contains("NOT potentially valid"));
         assert!(rep.contains("<c>"));
     }
 
     #[test]
+    fn check_json_line_is_parseable_and_complete() {
+        let ctx = fig1_ctx();
+        let json_opts = CheckOpts { json: true, ..CheckOpts::default() };
+        let s = pv_xml::parse("<r><a><b>x</b><c>y</c> z<e/></a></r>").unwrap();
+        let (line, st) = cmd_check(&ctx, "s.xml", &s, &json_opts);
+        assert_eq!(st, Status::Ok);
+        let v = json::parse(line.trim_end()).unwrap();
+        assert_eq!(v.get("potentially_valid").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("doc").unwrap().as_str(), Some("s.xml"));
+        assert_eq!(v.get("verdict").unwrap().as_str(), Some("potentially-valid"));
+        assert!(v.get("violation_text").unwrap().is_null());
+        assert!(v.get("outcome").unwrap().get("stats").is_some());
+        assert!(v.get("memo").unwrap().get("hits").is_some());
+
+        let w = pv_xml::parse("<r><a><b>x</b><e/><c>y</c></a></r>").unwrap();
+        let (line, st) = cmd_check(&ctx, "w.xml", &w, &json_opts);
+        assert_eq!(st, Status::Failed);
+        let v = json::parse(line.trim_end()).unwrap();
+        assert_eq!(v.get("potentially_valid").unwrap().as_bool(), Some(false));
+        let outcome = json::read_outcome(v.get("outcome").unwrap()).unwrap();
+        assert!(matches!(
+            outcome.violation.unwrap().kind,
+            pv_core::checker::PvViolationKind::ContentRejected { index: 2, .. }
+        ));
+        assert!(v.get("violation_text").unwrap().as_str().unwrap().contains("<c>"));
+    }
+
+    #[test]
     fn check_memo_off_drops_telemetry_but_keeps_the_verdict() {
         let ctx = fig1_ctx();
         let s = pv_xml::parse("<r><a><b>x</b><c>y</c> z<e/></a></r>").unwrap();
-        let (with_memo, st1) = cmd_check(&ctx, "s", &s, DepthPolicy::Auto, 1, true);
-        let (without, st2) = cmd_check(&ctx, "s", &s, DepthPolicy::Auto, 1, false);
+        let (with_memo, st1) = cmd_check(&ctx, "s", &s, &CheckOpts::default());
+        let (without, st2) = cmd_check(&ctx, "s", &s, &CheckOpts { memo: false, ..CheckOpts::default() });
         assert_eq!(st1, st2);
         assert!(!without.contains("memo:"), "{without}");
         assert_eq!(strip_memo_lines(&with_memo), without);
@@ -372,9 +518,9 @@ mod tests {
         let s = pv_xml::parse("<r><a><b>x</b><c>y</c> z<e/></a></r>").unwrap();
         let w = pv_xml::parse("<r><a><b>x</b><e/><c>y</c></a></r>").unwrap();
         for doc in [&s, &w] {
-            let (rep1, st1) = cmd_check(&ctx, "d", doc, DepthPolicy::Auto, 1, true);
+            let (rep1, st1) = cmd_check(&ctx, "d", doc, &CheckOpts::default());
             for jobs in [0usize, 2, 8] {
-                let (rep, st) = cmd_check(&ctx, "d", doc, DepthPolicy::Auto, jobs, true);
+                let (rep, st) = cmd_check(&ctx, "d", doc, &CheckOpts { jobs, ..CheckOpts::default() });
                 assert_eq!(
                     (strip_memo_lines(&rep), st),
                     (strip_memo_lines(&rep1), st1),

@@ -9,12 +9,13 @@
 use crate::dag::DagSet;
 use crate::depth::DepthPolicy;
 use crate::memo::{MemoStats, MemoVerdict, ShapeCache};
-use crate::recognizer::{EcRecognizer, RecCtx, RecognizerStats};
+use crate::recognizer::{EcRecognizer, RecBuffers, RecCtx, RecognizerStats};
 use crate::token::{ChildSym, Tokens};
 use pv_dtd::DtdAnalysis;
 use pv_xml::{Document, NodeId};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Why a document failed the potential-validity check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,6 +102,28 @@ pub struct CheckScratch<'s> {
     syms: Vec<ChildSym>,
 }
 
+impl CheckScratch<'_> {
+    /// Retires this scratch into a lifetime-free [`ScratchStash`] whose
+    /// buffer capacities a later scan — possibly against a *different*
+    /// checker — can adopt via [`PvChecker::scratch_from`]. This is how a
+    /// persistent pool worker keeps its scratch warm across parallel
+    /// regions: the scratch itself borrows the checker and cannot leave
+    /// the region, but its plain-data buffers can.
+    pub fn into_stash(mut self) -> ScratchStash {
+        self.syms.clear();
+        ScratchStash { syms: self.syms, rec: self.rec.into_buffers() }
+    }
+}
+
+/// Lifetime-free recycled checker buffers (see
+/// [`CheckScratch::into_stash`]). Carries no verdict state — only heap
+/// capacities — so adopting a stash can never influence an outcome.
+#[derive(Default)]
+pub struct ScratchStash {
+    syms: Vec<ChildSym>,
+    rec: RecBuffers,
+}
+
 /// A reusable potential-validity checker for one compiled DTD.
 ///
 /// Construction compiles the per-element DAGs once (`O(k)`); each document
@@ -120,9 +143,15 @@ pub struct CheckScratch<'s> {
 /// [`PvChecker::set_memo_enabled`] (the `pvx check --no-memo` path).
 pub struct PvChecker<'a> {
     analysis: &'a DtdAnalysis,
-    dags: DagSet,
+    /// Shared (`Arc`) so a resident engine can hand pre-compiled DAGs to
+    /// per-request checker views without re-deriving them — see
+    /// [`crate::engine::CheckEngine`]. Plain construction pays one extra
+    /// allocation, nothing else.
+    dags: Arc<DagSet>,
     depth: u32,
-    memo: Option<ShapeCache>,
+    /// Shared for the same reason: a warm cache outliving any one checker
+    /// view is the service's per-DTD state.
+    memo: Option<Arc<ShapeCache>>,
 }
 
 impl<'a> PvChecker<'a> {
@@ -135,10 +164,22 @@ impl<'a> PvChecker<'a> {
     pub fn with_policy(analysis: &'a DtdAnalysis, policy: DepthPolicy) -> Self {
         PvChecker {
             analysis,
-            dags: DagSet::new(analysis),
+            dags: Arc::new(DagSet::new(analysis)),
             depth: policy.resolve(analysis),
-            memo: Some(ShapeCache::new()),
+            memo: Some(Arc::new(ShapeCache::new())),
         }
+    }
+
+    /// A checker view over pre-compiled shared parts (the engine's
+    /// per-request path: no DAG compilation, the warm shape cache is the
+    /// shared one). Outcomes are identical to a freshly built checker's.
+    pub(crate) fn from_shared(
+        analysis: &'a DtdAnalysis,
+        dags: Arc<DagSet>,
+        memo: Option<Arc<ShapeCache>>,
+        depth: u32,
+    ) -> Self {
+        PvChecker { analysis, dags, depth, memo }
     }
 
     /// Enables or disables shape memoization. Turning it off drops the
@@ -146,7 +187,7 @@ impl<'a> PvChecker<'a> {
     /// either way — this is purely a time/space knob.
     pub fn set_memo_enabled(&mut self, enabled: bool) {
         match (enabled, self.memo.is_some()) {
-            (true, false) => self.memo = Some(ShapeCache::new()),
+            (true, false) => self.memo = Some(Arc::new(ShapeCache::new())),
             (false, true) => self.memo = None,
             _ => {}
         }
@@ -162,7 +203,7 @@ impl<'a> PvChecker<'a> {
     /// verdicts (the capacity divides over the cache's shards; a full
     /// shard flushes rather than grows — see [`crate::memo`]).
     pub fn set_memo_capacity(&mut self, entries: usize) {
-        self.memo = Some(ShapeCache::with_capacity(entries));
+        self.memo = Some(Arc::new(ShapeCache::with_capacity(entries)));
     }
 
     /// Telemetry snapshot of the shape cache, or `None` when memoization
@@ -188,6 +229,17 @@ impl<'a> PvChecker<'a> {
         CheckScratch {
             rec: EcRecognizer::new(ctx, self.analysis.root, self.depth),
             syms: Vec::new(),
+        }
+    }
+
+    /// [`PvChecker::scratch`] adopting the buffer capacities of a retired
+    /// stash (see [`CheckScratch::into_stash`]). The stash carries no
+    /// verdict state, so the scratch behaves exactly like a fresh one.
+    pub fn scratch_from(&self, stash: ScratchStash) -> CheckScratch<'_> {
+        let ctx = RecCtx::new(self.analysis, &self.dags);
+        CheckScratch {
+            rec: EcRecognizer::with_buffers(ctx, self.analysis.root, self.depth, stash.rec),
+            syms: stash.syms,
         }
     }
 
@@ -218,9 +270,9 @@ impl<'a> PvChecker<'a> {
     pub const PARALLEL_MIN_NODES: usize = 512;
 
     /// Definition 3's root condition `root(w) = r`, shared verbatim by the
-    /// sequential and parallel document checks (the bit-identity guarantee
-    /// between them depends on both using exactly this).
-    fn check_root(&self, doc: &Document) -> Option<PvViolation> {
+    /// sequential, parallel, and pooled document checks (the bit-identity
+    /// guarantee between them depends on all using exactly this).
+    pub(crate) fn check_root(&self, doc: &Document) -> Option<PvViolation> {
         let root_name = doc.name(doc.root()).unwrap_or("");
         if self.analysis.id(root_name) != Some(self.analysis.root) {
             return Some(PvViolation {
@@ -320,36 +372,116 @@ impl<'a> PvChecker<'a> {
             },
         );
         // Deterministic reduction in document order.
-        let mut stats = RecognizerStats::default();
-        for entry in per_node {
-            let (violation, node_stats) =
-                entry.expect("nodes up to the first violation are never pruned");
-            stats.merge(&node_stats);
-            if violation.is_some() {
-                return PvOutcome { violation, stats };
-            }
-        }
-        PvOutcome { violation: None, stats }
+        reduce_node_results(per_node)
     }
 
     /// Checks a batch of documents against this DTD on `jobs` worker
     /// threads (`0` = one per available CPU), returning one outcome per
-    /// document in input order.
+    /// document in input order — outcome `i` is bit-identical to
+    /// `check_document(&docs[i])`.
     ///
-    /// Sharding is per **document** (each worker runs the sequential
-    /// [`PvChecker::check_document`] on whole documents, with idle workers
-    /// stealing documents from busy ones), which is the right granularity
-    /// for corpus workloads where documents outnumber cores; outcome `i`
-    /// is therefore trivially identical to `check_document(&docs[i])`.
-    /// For one huge document use [`PvChecker::check_document_parallel`],
-    /// which shards *within* the document.
+    /// Scheduling is **two-level** ([`pv_par::map_grouped_with`]): whole
+    /// documents are stolen first (the right granularity while documents
+    /// outnumber idle workers — a worker scans its documents' nodes
+    /// in order, cache-local), and a worker that finds no untouched
+    /// document left *joins* the started document with the most nodes
+    /// remaining, claiming chunks of its node range. Only documents big
+    /// enough to bottleneck the batch are node-granular (joinable) at
+    /// all — larger than `max(`[`PvChecker::PARALLEL_MIN_NODES`]`,
+    /// total/4·workers)` nodes; the rest run as single whole-document
+    /// tasks with zero per-node scheduling overhead. A batch mixing one giant document with many small ones
+    /// therefore pipelines instead of serializing on the giant one.
+    ///
+    /// Bit-identity holds for the same reason as in
+    /// [`PvChecker::check_document_parallel`]: per-node results are
+    /// reduced per document in document order, nodes after a document's
+    /// known first violation are pruned (never any node at or before it),
+    /// and the stats merge is commutative.
     pub fn check_batch(&self, docs: &[Document], jobs: usize) -> Vec<PvOutcome> {
-        pv_par::map_indexed_with(
+        if pv_par::effective_jobs(jobs) <= 1 {
+            let mut scratch = self.scratch();
+            return docs.iter().map(|d| self.check_document_with(d, &mut scratch)).collect();
+        }
+        // Per-document plan: the root check happens up front (it is one
+        // string comparison), leaving only per-node ECPV work to shard.
+        // Most documents stay **one task each** — whole-document
+        // granularity has no per-node sharding overhead, and splitting a
+        // document that checks in microseconds buys nothing. Only
+        // documents big enough to bottleneck the batch become
+        // node-granular groups idle workers can join into.
+        let workers = pv_par::effective_jobs(jobs);
+        let total_nodes: usize = docs.iter().map(Document::element_count).sum();
+        let split = Self::batch_split_threshold(workers, total_nodes);
+        let plans: Vec<BatchPlan> = docs.iter().map(|d| self.plan_document(d, split)).collect();
+        let sizes: Vec<usize> = plans.iter().map(BatchPlan::task_count).collect();
+        let first_bad: Vec<AtomicUsize> =
+            docs.iter().map(|_| AtomicUsize::new(usize::MAX)).collect();
+        let per_doc = pv_par::map_grouped_with(
             jobs,
-            docs.len(),
+            &sizes,
             || self.scratch(),
-            |scratch, i| self.check_document_with(&docs[i], scratch),
-        )
+            |scratch, g, i| {
+                self.run_batch_task(&docs[g], &plans[g], &first_bad[g], i, scratch)
+            },
+        );
+        plans.iter().zip(per_doc).map(|(plan, results)| plan.reduce(results)).collect()
+    }
+
+    /// The node count above which a batch document becomes a joinable
+    /// node-granular group instead of one whole-document task. Splitting
+    /// costs per-node scheduling overhead, so it is only worth paying for
+    /// documents that could actually bottleneck the region: larger than
+    /// the absolute parallel threshold **and** large relative to the
+    /// batch (a document holding less than a quarter of one worker's
+    /// average share can never leave the other workers idle long —
+    /// whole-document stealing balances it fine).
+    pub(crate) fn batch_split_threshold(workers: usize, total_nodes: usize) -> usize {
+        Self::PARALLEL_MIN_NODES.max(total_nodes / (4 * workers.max(1)))
+    }
+
+    /// How one batch document is scheduled (see [`PvChecker::check_batch`]).
+    pub(crate) fn plan_document(&self, doc: &Document, split_threshold: usize) -> BatchPlan {
+        match self.check_root(doc) {
+            Some(v) => BatchPlan::RootFailed(v),
+            None if doc.element_count() < split_threshold => BatchPlan::Whole,
+            None => BatchPlan::PerNode(doc.elements().collect()),
+        }
+    }
+
+    /// One scheduled task of a batch region: either the whole document
+    /// (small documents) or one node (joinable large documents).
+    pub(crate) fn run_batch_task(
+        &self,
+        doc: &Document,
+        plan: &BatchPlan,
+        first_bad: &AtomicUsize,
+        i: usize,
+        scratch: &mut CheckScratch<'_>,
+    ) -> Option<(Option<PvViolation>, RecognizerStats)> {
+        match plan {
+            BatchPlan::RootFailed(_) => unreachable!("root-failed documents have no tasks"),
+            BatchPlan::Whole => {
+                debug_assert_eq!(i, 0);
+                let mut stats = RecognizerStats::default();
+                for node in doc.elements() {
+                    if let Some(v) = self.check_node_with(doc, node, &mut stats, scratch) {
+                        return Some((Some(v), stats));
+                    }
+                }
+                Some((None, stats))
+            }
+            BatchPlan::PerNode(nodes) => {
+                if i > first_bad.load(Ordering::Relaxed) {
+                    return None; // after a known violation in this doc
+                }
+                let mut stats = RecognizerStats::default();
+                let violation = self.check_node_with(doc, nodes[i], &mut stats, scratch);
+                if violation.is_some() {
+                    first_bad.fetch_min(i, Ordering::Relaxed);
+                }
+                Some((violation, stats))
+            }
+        }
     }
 
     /// Checks Problem ECPV for a single node's content (used by the
@@ -368,7 +500,7 @@ impl<'a> PvChecker<'a> {
     /// body of every document scan. The hot path performs no allocation:
     /// the child-symbol buffer is refilled in place, a memo hit replays
     /// the cached stats delta, and a miss re-arms the scratch recognizer.
-    fn check_node_with(
+    pub(crate) fn check_node_with(
         &self,
         doc: &Document,
         node: NodeId,
@@ -466,6 +598,73 @@ impl<'a> PvChecker<'a> {
         }
         (None, delta)
     }
+}
+
+/// How one document of a batch is scheduled: no tasks at all (root
+/// violation, found in the planning pre-pass), one whole-document task
+/// (small documents — no per-node sharding overhead), or one task per
+/// element node (large documents idle workers may join). Shared by the
+/// scoped [`PvChecker::check_batch`] and the engine's pooled batch; the
+/// reduction produces outcomes bit-identical to the sequential checker
+/// in every variant.
+pub(crate) enum BatchPlan {
+    /// The root check already failed; zero tasks.
+    RootFailed(PvViolation),
+    /// One task running every node sequentially with early exit (the
+    /// task iterates `doc.elements()` directly — no node list is
+    /// materialized for the common small-document case).
+    Whole,
+    /// One task per node, document-order reduction. Only this plan needs
+    /// random access by task index, so only it collects the node ids.
+    PerNode(Vec<NodeId>),
+}
+
+impl BatchPlan {
+    /// Number of tasks this document contributes to the grouped region.
+    pub(crate) fn task_count(&self) -> usize {
+        match self {
+            BatchPlan::RootFailed(_) => 0,
+            BatchPlan::Whole => 1,
+            BatchPlan::PerNode(nodes) => nodes.len(),
+        }
+    }
+
+    /// Folds the group's task results into the document outcome.
+    pub(crate) fn reduce(
+        &self,
+        results: Vec<Option<(Option<PvViolation>, RecognizerStats)>>,
+    ) -> PvOutcome {
+        match self {
+            BatchPlan::RootFailed(v) => {
+                PvOutcome { violation: Some(v.clone()), stats: RecognizerStats::default() }
+            }
+            // A whole-document task already folded its nodes (stopping at
+            // the first violation) — its single result IS the outcome.
+            BatchPlan::Whole | BatchPlan::PerNode(_) => reduce_node_results(results),
+        }
+    }
+}
+
+/// The deterministic document-order reduction shared by every sharded
+/// check (scoped parallel, two-level batch, and the engine's pooled
+/// paths): folds per-node `(violation, stats)` results in document order,
+/// stopping at the first violation exactly as the sequential scan would.
+/// `None` entries are nodes pruned *after* a known violation — the fold
+/// never reaches them, which the pruning protocol guarantees (the known
+/// first-failure index only ever decreases).
+pub(crate) fn reduce_node_results(
+    per_node: impl IntoIterator<Item = Option<(Option<PvViolation>, RecognizerStats)>>,
+) -> PvOutcome {
+    let mut stats = RecognizerStats::default();
+    for entry in per_node {
+        let (violation, node_stats) =
+            entry.expect("nodes up to the first violation are never pruned");
+        stats.merge(&node_stats);
+        if violation.is_some() {
+            return PvOutcome { violation, stats };
+        }
+    }
+    PvOutcome { violation: None, stats }
 }
 
 #[cfg(test)]

@@ -32,6 +32,10 @@
 //! * [`checker`] — whole-document potential validity (Problem PV) by
 //!   running ECPV at every element node, with diagnostics pointing at the
 //!   offending node and symbol.
+//! * [`engine`] — the owned, `Arc`-shareable sibling of the checker for
+//!   resident services: pre-compiled DAGs, a warm cross-request shape
+//!   cache, and check entry points that dispatch onto a persistent
+//!   [`pv_par::Pool`].
 //! * [`memo`] — shape-memoized verdicts: child-symbol sequences are
 //!   hash-consed into interned shapes and `(element, shape)` ECPV results
 //!   are cached with their stats delta, so repetitive markup checks in
@@ -73,13 +77,15 @@
 pub mod checker;
 pub mod dag;
 pub mod depth;
+pub mod engine;
 pub mod incremental;
 pub mod memo;
 pub mod recognizer;
 pub mod suggest;
 pub mod token;
 
-pub use checker::{CheckScratch, PvChecker, PvOutcome, PvViolation, PvViolationKind};
+pub use checker::{CheckScratch, PvChecker, PvOutcome, PvViolation, PvViolationKind, ScratchStash};
+pub use engine::CheckEngine;
 pub use dag::{DagNode, DagNodeKind, DagSet, ElementDag};
 pub use depth::DepthPolicy;
 pub use memo::{MemoStats, ShapeCache};

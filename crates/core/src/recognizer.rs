@@ -149,6 +149,24 @@ impl RecognizerStats {
     }
 }
 
+/// Lifetime-free heap buffers recovered from a retiring recognizer, so a
+/// persistent pool worker can carry warmed capacities **across** parallel
+/// regions (a [`EcRecognizer`] itself borrows the checker's DAGs and
+/// cannot outlive one region; its plain-data buffers can).
+///
+/// Only the buffers whose element types carry no borrow are recoverable:
+/// the current/next generation bitmaps and the two speculation-round
+/// queues. The entry lists hold in-progress nested recognizers (borrowed)
+/// and are rebuilt per region; they reach steady-state capacity within
+/// the first node or two, so the loss is noise.
+#[derive(Default)]
+pub struct RecBuffers {
+    cur: Vec<bool>,
+    nxt: Vec<bool>,
+    pending: Vec<(u32, DagNodeId)>,
+    parked_round: Vec<(ElemId, DagNodeId)>,
+}
+
 /// One active DAG position, optionally carrying an in-progress nested
 /// recognizer for an elided element.
 struct Entry<'a> {
@@ -261,6 +279,38 @@ impl<'a> EcRecognizer<'a> {
                 self.cur[s as usize] = true;
                 self.active.push(Entry::fresh(s));
             }
+        }
+    }
+
+    /// [`EcRecognizer::new`] seeded with recycled buffers (see
+    /// [`RecBuffers`]); observationally identical to a fresh recognizer.
+    pub fn with_buffers(ctx: RecCtx<'a>, e: ElemId, depth: u32, bufs: RecBuffers) -> Self {
+        let mut rec = Self::new(ctx, e, depth);
+        let RecBuffers { cur, nxt, pending, parked_round } = bufs;
+        // Adopt whichever recycled buffer has more capacity than the
+        // fresh one, then re-arm from scratch.
+        if cur.capacity() > rec.cur.capacity() {
+            rec.cur = cur;
+        }
+        if nxt.capacity() > rec.nxt.capacity() {
+            rec.nxt = nxt;
+        }
+        rec.pending = pending;
+        rec.parked_round = parked_round;
+        rec.reset(e, depth);
+        rec
+    }
+
+    /// Retires this recognizer, handing back its lifetime-free buffers
+    /// for a later [`EcRecognizer::with_buffers`].
+    pub fn into_buffers(mut self) -> RecBuffers {
+        self.pending.clear();
+        self.parked_round.clear();
+        RecBuffers {
+            cur: std::mem::take(&mut self.cur),
+            nxt: std::mem::take(&mut self.nxt),
+            pending: std::mem::take(&mut self.pending),
+            parked_round: std::mem::take(&mut self.parked_round),
         }
     }
 

@@ -153,6 +153,86 @@ pub const DISSERTATION_SRC: &str = r##"
 <!ELEMENT summary (#PCDATA)>
 "##;
 
+/// A DocBook-article-flavoured DTD (root `article`): the scholarly-article
+/// core of DocBook 4 — front matter, three section levels, lists, figures,
+/// tables, footnotes, and a bibliography. Recursion is PV-weak only
+/// (`emphasis`/`quote` self-nest through mixed content; `footnote → para`
+/// closes a cycle whose return edge sits in `para`'s star group).
+pub const DOCBOOK_ARTICLE_SRC: &str = r##"
+<!ENTITY % inline "#PCDATA | emphasis | literal | link | quote | footnote | xref">
+<!ELEMENT article (title, articleinfo?, abstract?, (sect1 | para)+, bibliography?)>
+<!ELEMENT articleinfo (author+, date?, abstract?)>
+<!ELEMENT author (firstname, surname)>
+<!ELEMENT firstname (#PCDATA)>
+<!ELEMENT surname (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT abstract (para+)>
+<!ELEMENT sect1 (title, (para | itemizedlist | orderedlist | figure | table)*, sect2*)>
+<!ELEMENT sect2 (title, (para | itemizedlist | figure)*, sect3*)>
+<!ELEMENT sect3 (title, para*)>
+<!ELEMENT title (%inline;)*>
+<!ELEMENT para (%inline;)*>
+<!ELEMENT itemizedlist (listitem+)>
+<!ELEMENT orderedlist (listitem+)>
+<!ELEMENT listitem (para+)>
+<!ELEMENT figure (title, mediaobject)>
+<!ELEMENT mediaobject (imagedata, caption?)>
+<!ELEMENT imagedata EMPTY>
+<!ELEMENT caption (para+)>
+<!ELEMENT table (title, row+)>
+<!ELEMENT row (entry+)>
+<!ELEMENT entry (%inline;)*>
+<!ELEMENT emphasis (%inline;)*>
+<!ELEMENT literal (#PCDATA)>
+<!ELEMENT link (%inline;)*>
+<!ELEMENT quote (%inline;)*>
+<!ELEMENT footnote (para+)>
+<!ELEMENT xref (#PCDATA)>
+<!ELEMENT bibliography (title?, biblioentry+)>
+<!ELEMENT biblioentry (author+, title, date?)>
+"##;
+
+/// A TEI-P5-performance-text-flavoured DTD (root `TEI`): the drama module
+/// subset — cast lists, speeches (`sp`) mixing prose, verse lines, and
+/// stage directions — the natural schema for the editorial transcription
+/// workloads the paper targets (and a document-centric sibling of the
+/// Shakespeare `play` corpus). PV-weak recursive (`div` self-nests through
+/// its star group).
+pub const TEI_DRAMA_SRC: &str = r##"
+<!ENTITY % phrase "#PCDATA | hi | emph | name | date | stage | note">
+<!ELEMENT TEI (teiHeader, text)>
+<!ELEMENT teiHeader (fileDesc)>
+<!ELEMENT fileDesc (titleStmt, sourceDesc?)>
+<!ELEMENT titleStmt (title+)>
+<!ELEMENT title (%phrase;)*>
+<!ELEMENT sourceDesc (bibl+)>
+<!ELEMENT bibl (%phrase;)*>
+<!ELEMENT text (front?, body)>
+<!ELEMENT front (titlePage?, castList?)>
+<!ELEMENT titlePage (docTitle, byline?)>
+<!ELEMENT docTitle (titlePart+)>
+<!ELEMENT titlePart (%phrase;)*>
+<!ELEMENT byline (%phrase;)*>
+<!ELEMENT castList (head?, castItem+)>
+<!ELEMENT castItem (role, roleDesc?)>
+<!ELEMENT role (#PCDATA)>
+<!ELEMENT roleDesc (#PCDATA)>
+<!ELEMENT body (div+)>
+<!ELEMENT div (head?, (sp | stage | lg | p | div)*)>
+<!ELEMENT head (%phrase;)*>
+<!ELEMENT sp (speaker?, (p | l | lg | stage)+)>
+<!ELEMENT speaker (#PCDATA)>
+<!ELEMENT p (%phrase;)*>
+<!ELEMENT lg (l+)>
+<!ELEMENT l (%phrase;)*>
+<!ELEMENT stage (%phrase;)*>
+<!ELEMENT hi (%phrase;)*>
+<!ELEMENT emph (%phrase;)*>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT note (%phrase;)*>
+"##;
+
 /// Identifier for a built-in DTD.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BuiltinDtd {
@@ -172,11 +252,15 @@ pub enum BuiltinDtd {
     DocbookLike,
     /// Dissertation-style (root `thesis`), PV-strong recursive.
     Dissertation,
+    /// DocBook-article-flavoured (root `article`), PV-weak recursive.
+    DocbookArticle,
+    /// TEI-P5-drama-flavoured (root `TEI`), PV-weak recursive.
+    TeiDrama,
 }
 
 impl BuiltinDtd {
     /// All built-ins, for exhaustive test loops.
-    pub const ALL: [BuiltinDtd; 8] = [
+    pub const ALL: [BuiltinDtd; 10] = [
         BuiltinDtd::Figure1,
         BuiltinDtd::T1,
         BuiltinDtd::T2,
@@ -185,6 +269,8 @@ impl BuiltinDtd {
         BuiltinDtd::Play,
         BuiltinDtd::DocbookLike,
         BuiltinDtd::Dissertation,
+        BuiltinDtd::DocbookArticle,
+        BuiltinDtd::TeiDrama,
     ];
 
     /// Short display name.
@@ -198,6 +284,8 @@ impl BuiltinDtd {
             BuiltinDtd::Play => "play",
             BuiltinDtd::DocbookLike => "docbook-like",
             BuiltinDtd::Dissertation => "dissertation",
+            BuiltinDtd::DocbookArticle => "docbook-article",
+            BuiltinDtd::TeiDrama => "tei-drama",
         }
     }
 
@@ -212,6 +300,8 @@ impl BuiltinDtd {
             BuiltinDtd::Play => PLAY_SRC,
             BuiltinDtd::DocbookLike => DOCBOOK_LIKE_SRC,
             BuiltinDtd::Dissertation => DISSERTATION_SRC,
+            BuiltinDtd::DocbookArticle => DOCBOOK_ARTICLE_SRC,
+            BuiltinDtd::TeiDrama => TEI_DRAMA_SRC,
         }
     }
 
@@ -225,6 +315,8 @@ impl BuiltinDtd {
             BuiltinDtd::Play => "PLAY",
             BuiltinDtd::DocbookLike => "book",
             BuiltinDtd::Dissertation => "thesis",
+            BuiltinDtd::DocbookArticle => "article",
+            BuiltinDtd::TeiDrama => "TEI",
         }
     }
 
@@ -232,9 +324,11 @@ impl BuiltinDtd {
     pub fn expected_class(self) -> DtdClass {
         match self {
             BuiltinDtd::Figure1 | BuiltinDtd::Play => DtdClass::NonRecursive,
-            BuiltinDtd::XhtmlBasic | BuiltinDtd::TeiLite | BuiltinDtd::DocbookLike => {
-                DtdClass::PvWeakRecursive
-            }
+            BuiltinDtd::XhtmlBasic
+            | BuiltinDtd::TeiLite
+            | BuiltinDtd::DocbookLike
+            | BuiltinDtd::DocbookArticle
+            | BuiltinDtd::TeiDrama => DtdClass::PvWeakRecursive,
             BuiltinDtd::T1 | BuiltinDtd::T2 | BuiltinDtd::Dissertation => {
                 DtdClass::PvStrongRecursive
             }

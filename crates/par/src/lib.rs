@@ -25,6 +25,16 @@
 //!   checker's first-failing-node-in-document-order rule) stay exact.
 //! * **Panic transparency**: a panicking task propagates to the caller
 //!   after all workers have been joined, like the sequential loop would.
+//! * **Two-level grouped regions** ([`map_grouped_with`]): tasks organized
+//!   as groups (a batch's documents) are stolen group-first, and idle
+//!   workers *join* a started group's remaining index range — the
+//!   cross-document pipelining a batch mixing one giant document with
+//!   many small ones needs.
+//! * **A persistent pool** ([`Pool`]): the same deques and scheduling on
+//!   long-lived parked workers for resident servers, where per-region
+//!   thread spawning would dominate small requests. Pool regions are
+//!   `'static` (state shared via `Arc`); the scoped entry points stay the
+//!   borrowing path. See the [`pool`](Pool) docs for why both exist.
 //!
 //! ## Quick start
 //!
@@ -41,9 +51,11 @@
 
 #![warn(missing_docs)]
 
+mod pool;
 mod queue;
 
-use queue::StealQueues;
+pub use pool::{GroupScope, Pool, Sticky, WorkerScope};
+use queue::{GroupCounters, GroupQueues, StealQueues};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Resolves a `jobs` request to a worker count: `0` means "one worker per
@@ -66,8 +78,13 @@ pub fn effective_jobs(requested: usize) -> usize {
 pub struct PoolStats {
     /// Tasks executed by each worker (summing to the region's task count).
     pub executed_per_worker: Vec<u64>,
-    /// Successful steals (tasks a worker took from another's deque).
+    /// Successful steals (tasks — or, in a grouped region, whole groups —
+    /// a worker took from another's deque).
     pub steals: u64,
+    /// Grouped regions only: times an idle worker joined the index range
+    /// of a group another worker had already started (the two-level
+    /// scheduler's "split a large document when idle" path).
+    pub group_joins: u64,
 }
 
 /// Parallel map over the index range `0..len`: runs `f(i)` for every `i`
@@ -133,7 +150,10 @@ where
     if workers <= 1 {
         let mut state = init();
         let out: Vec<R> = (0..len).map(|i| f(&mut state, i)).collect();
-        return (out, PoolStats { executed_per_worker: vec![len as u64], steals: 0 });
+        return (
+            out,
+            PoolStats { executed_per_worker: vec![len as u64], steals: 0, group_joins: 0 },
+        );
     }
 
     let queues = StealQueues::split(workers, len);
@@ -177,7 +197,126 @@ where
 
     let out: Vec<R> =
         slots.into_iter().map(|r| r.expect("every task index executed exactly once")).collect();
-    (out, PoolStats { executed_per_worker: executed, steals: steals.load(Ordering::Relaxed) })
+    (
+        out,
+        PoolStats {
+            executed_per_worker: executed,
+            steals: steals.load(Ordering::Relaxed),
+            group_joins: 0,
+        },
+    )
+}
+
+/// Two-level parallel map over **groups** of tasks: `sizes[g]` is the task
+/// count of group `g`, and the result is one `Vec<R>` per group with
+/// `out[g][i] == f(state, g, i)`, in order.
+///
+/// Scheduling is group-first (the cross-document pipelining scheme):
+/// whole groups are seeded over the workers' deques and stolen whole, and
+/// only a worker that finds no unstarted group anywhere *joins* a started
+/// group's remaining index range, claiming chunks of it. A batch mixing
+/// one giant group with many small ones therefore drains the small ones
+/// as cache-local units while the giant one ends up shared — without ever
+/// paying per-task locking for well-balanced batches.
+///
+/// Like [`map_indexed_with`], `init` builds one per-worker state threaded
+/// through all tasks that worker claims, and `jobs <= 1` (or a region of
+/// at most one task) degenerates to the plain nested loop.
+pub fn map_grouped_with<S, R, I, F>(jobs: usize, sizes: &[usize], init: I, f: F) -> Vec<Vec<R>>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, usize) -> R + Sync,
+{
+    map_grouped_with_stats(jobs, sizes, init, f).0
+}
+
+/// [`map_grouped_with`], also reporting how the work spread over the
+/// workers (including group steals and joins).
+pub fn map_grouped_with_stats<S, R, I, F>(
+    jobs: usize,
+    sizes: &[usize],
+    init: I,
+    f: F,
+) -> (Vec<Vec<R>>, PoolStats)
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, usize) -> R + Sync,
+{
+    let total: usize = sizes.iter().sum();
+    let workers = effective_jobs(jobs).min(total.max(1));
+    if workers <= 1 {
+        let mut state = init();
+        let out: Vec<Vec<R>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(g, &len)| (0..len).map(|i| f(&mut state, g, i)).collect())
+            .collect();
+        return (
+            out,
+            PoolStats { executed_per_worker: vec![total as u64], steals: 0, group_joins: 0 },
+        );
+    }
+
+    let queues = GroupQueues::split(workers, sizes);
+    let counters = GroupCounters::new();
+    let mut slots: Vec<Vec<Option<R>>> = sizes
+        .iter()
+        .map(|&len| {
+            let mut v = Vec::with_capacity(len);
+            v.resize_with(len, || None);
+            v
+        })
+        .collect();
+    let mut executed = vec![0u64; workers];
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queues = &queues;
+                let counters = &counters;
+                let init = &init;
+                let f = &f;
+                s.spawn(move || {
+                    let mut state = init();
+                    let mut out: Vec<(usize, usize, R)> = Vec::new();
+                    queues.drain(w, counters, |g, i| out.push((g, i, f(&mut state, g, i))));
+                    out
+                })
+            })
+            .collect();
+        for (w, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(triples) => {
+                    executed[w] = triples.len() as u64;
+                    for (g, i, r) in triples {
+                        debug_assert!(slots[g][i].is_none(), "task ({g}, {i}) executed twice");
+                        slots[g][i] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    let out: Vec<Vec<R>> = slots
+        .into_iter()
+        .map(|group| {
+            group
+                .into_iter()
+                .map(|r| r.expect("every grouped task executed exactly once"))
+                .collect()
+        })
+        .collect();
+    (
+        out,
+        PoolStats {
+            executed_per_worker: executed,
+            steals: counters.steals.load(Ordering::Relaxed),
+            group_joins: counters.joins.load(Ordering::Relaxed),
+        },
+    )
 }
 
 /// Parallel map over a slice: `map(jobs, items, f)[i] == f(&items[i])`,
@@ -263,6 +402,43 @@ mod tests {
     fn workers_capped_by_task_count() {
         let (_, stats) = map_indexed_stats(16, 3, |i| i);
         assert_eq!(stats.executed_per_worker.len(), 3);
+    }
+
+    #[test]
+    fn grouped_map_matches_sequential_for_all_job_counts() {
+        let sizes = [5usize, 0, 33, 1, 12];
+        let expect: Vec<Vec<usize>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(g, &len)| (0..len).map(|i| g * 100 + i).collect())
+            .collect();
+        for jobs in [0usize, 1, 2, 3, 8] {
+            let out = map_grouped_with(jobs, &sizes, || (), |(), g, i| g * 100 + i);
+            assert_eq!(out, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn grouped_map_empty_and_degenerate() {
+        assert_eq!(map_grouped_with(4, &[], || (), |(), g, i| (g, i)), Vec::<Vec<(usize, usize)>>::new());
+        let out = map_grouped_with(4, &[0, 0], || (), |(), g, i| (g, i));
+        assert_eq!(out, vec![Vec::new(), Vec::new()]);
+    }
+
+    #[test]
+    fn grouped_map_mixed_batch_pipelines() {
+        // One giant slow group among small ones: the counters must show
+        // the idle workers joining the giant group's range.
+        let sizes = [2000usize, 8, 8, 8];
+        let (out, stats) = map_grouped_with_stats(4, &sizes, || (), |(), g, i| {
+            if g == 0 {
+                std::thread::sleep(Duration::from_micros(20));
+            }
+            g + i
+        });
+        assert_eq!(out[0].len(), 2000);
+        assert_eq!(stats.executed_per_worker.iter().sum::<u64>(), 2024);
+        assert!(stats.group_joins > 0, "expected range joins, got {stats:?}");
     }
 
     #[test]

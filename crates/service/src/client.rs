@@ -1,0 +1,231 @@
+//! The service client: one connection, blocking request/response.
+//!
+//! [`Client`] speaks the [`crate::proto`] protocol and rebuilds real
+//! [`PvOutcome`] values from the wire — the differential suite compares
+//! them bit-for-bit against in-process checks. `pvx check --remote` is a
+//! thin wrapper over this type.
+
+use crate::json::{self, Json};
+use crate::proto::{self, Request};
+use crate::server::{connect, parse_response, Endpoint, Stream};
+use pv_core::checker::PvOutcome;
+use pv_core::memo::MemoStats;
+use std::fmt;
+use std::io::{self, BufReader, Write};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server answered `ok:false` with this message.
+    Remote(String),
+    /// The server answered something unintelligible.
+    Protocol(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "transport error: {e}"),
+            ServiceError::Remote(m) => write!(f, "server error: {m}"),
+            ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<io::Error> for ServiceError {
+    fn from(e: io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type Result<T> = std::result::Result<T, ServiceError>;
+
+/// Metadata returned by `LOAD`/`BUILTIN`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadInfo {
+    /// The handle subsequent `CHECK`/`BATCH` requests use.
+    pub handle: String,
+    /// Human-readable source label (`builtin:play`, `loaded:r`, …).
+    pub label: String,
+    /// The DTD's recursion class, rendered.
+    pub class: String,
+    /// Element-type count `m`.
+    pub elements: u64,
+    /// The engine's resolved depth budget.
+    pub depth: u32,
+}
+
+/// A full remote check result: the reconstructed outcome plus the
+/// server-side context a report needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteCheck {
+    /// The outcome, bit-identical to the in-process check.
+    pub outcome: PvOutcome,
+    /// Shared-cache telemetry (server-lifetime counters), when the
+    /// request ran with memoization.
+    pub memo: Option<MemoStats>,
+    /// DTD source label.
+    pub label: String,
+    /// DTD recursion class, rendered.
+    pub class: String,
+    /// Depth budget the check ran under.
+    pub depth: u32,
+}
+
+/// One blocking connection to a `pvx serve` instance.
+pub struct Client {
+    reader: BufReader<Stream>,
+}
+
+impl Client {
+    /// Connects to an address string (see [`Endpoint::parse`]).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        Self::connect_endpoint(&Endpoint::parse(addr))
+    }
+
+    /// Connects to a parsed endpoint.
+    pub fn connect_endpoint(endpoint: &Endpoint) -> io::Result<Client> {
+        Ok(Client { reader: BufReader::new(connect(endpoint)?) })
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Json> {
+        proto::write_request(self.reader.get_mut(), req)?;
+        self.reader.get_mut().flush()?;
+        let line = proto::read_line(&mut self.reader)?
+            .ok_or_else(|| ServiceError::Protocol("server closed the connection".into()))?;
+        parse_response(&line).map_err(|m| {
+            // `ok:false` and unparsable responses arrive on the same
+            // channel; a JSON parse failure is a protocol error.
+            if json::parse(&line).is_ok() {
+                ServiceError::Remote(m)
+            } else {
+                ServiceError::Protocol(m)
+            }
+        })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        self.round_trip(&Request::Ping).map(|_| ())
+    }
+
+    /// Loads (or re-finds) a DTD by source text and root.
+    pub fn load_dtd(&mut self, root: &str, source: &str) -> Result<LoadInfo> {
+        let v = self.round_trip(&Request::Load {
+            root: root.to_owned(),
+            source: source.to_owned(),
+        })?;
+        Self::load_info(&v)
+    }
+
+    /// Loads (or re-finds) a built-in DTD by name.
+    pub fn load_builtin(&mut self, name: &str) -> Result<LoadInfo> {
+        let v = self.round_trip(&Request::Builtin { name: name.to_owned() })?;
+        Self::load_info(&v)
+    }
+
+    fn load_info(v: &Json) -> Result<LoadInfo> {
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| ServiceError::Protocol(format!("load reply missing {k:?}")))
+        };
+        let num = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ServiceError::Protocol(format!("load reply missing {k:?}")))
+        };
+        Ok(LoadInfo {
+            handle: field("handle")?,
+            label: field("label")?,
+            class: field("class")?,
+            elements: num("elements")?,
+            depth: num("depth")? as u32,
+        })
+    }
+
+    /// Checks one document; `jobs` caps the server-side workers (`1` =
+    /// sequential), `memo` toggles the shared shape cache for this
+    /// request.
+    pub fn check(
+        &mut self,
+        handle: &str,
+        xml: &str,
+        jobs: usize,
+        memo: bool,
+    ) -> Result<RemoteCheck> {
+        let v = self.round_trip(&Request::Check {
+            handle: handle.to_owned(),
+            jobs,
+            memo,
+            xml: xml.to_owned(),
+        })?;
+        let outcome_v = v
+            .get("outcome")
+            .ok_or_else(|| ServiceError::Protocol("check reply missing outcome".into()))?;
+        let outcome = json::read_outcome(outcome_v).map_err(ServiceError::Protocol)?;
+        let memo = match v.get("memo") {
+            None | Some(Json::Null) => None,
+            Some(m) => Some(json::read_memo(m).map_err(ServiceError::Protocol)?),
+        };
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| ServiceError::Protocol(format!("check reply missing {k:?}")))
+        };
+        Ok(RemoteCheck {
+            outcome,
+            memo,
+            label: field("label")?,
+            class: field("class")?,
+            depth: v
+                .get("depth")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ServiceError::Protocol("check reply missing depth".into()))?
+                as u32,
+        })
+    }
+
+    /// Checks a batch; outcome `i` corresponds to `xmls[i]`.
+    pub fn check_batch(
+        &mut self,
+        handle: &str,
+        xmls: &[String],
+        jobs: usize,
+    ) -> Result<Vec<PvOutcome>> {
+        let v = self.round_trip(&Request::Batch {
+            handle: handle.to_owned(),
+            jobs,
+            xmls: xmls.to_vec(),
+        })?;
+        let arr = v
+            .get("outcomes")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ServiceError::Protocol("batch reply missing outcomes".into()))?;
+        arr.iter()
+            .map(|o| json::read_outcome(o).map_err(ServiceError::Protocol))
+            .collect()
+    }
+
+    /// Raw server telemetry (see the protocol's `STATS`).
+    pub fn stats(&mut self) -> Result<Json> {
+        self.round_trip(&Request::Stats)
+    }
+
+    /// Clears the handle's server-side shape cache.
+    pub fn reset(&mut self, handle: &str) -> Result<()> {
+        self.round_trip(&Request::Reset { handle: handle.to_owned() }).map(|_| ())
+    }
+
+    /// Asks the server to stop accepting connections.
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.round_trip(&Request::Shutdown).map(|_| ())
+    }
+}

@@ -1,0 +1,340 @@
+//! The wire protocol: newline-framed verbs, length-prefixed payloads.
+//!
+//! One request is a single verb line terminated by `\n`, optionally
+//! followed by length-prefixed payload blocks (documents and DTD sources
+//! contain newlines, so they cannot ride on the line itself):
+//!
+//! ```text
+//! request  := verb-line "\n" payload*
+//! verb-line:= VERB (" " arg)*
+//! payload  := decimal-byte-length "\n" raw-bytes
+//! response := one JSON object, "\n"-terminated
+//! ```
+//!
+//! Verbs (arguments in `key=value` form where optional):
+//!
+//! | verb | payloads | effect |
+//! |---|---|---|
+//! | `PING` | — | liveness probe |
+//! | `LOAD <root>` | 1 (DTD source) | compile + intern a DTD, reply with its handle (idempotent: same source + root ⇒ same handle, warm cache kept) |
+//! | `BUILTIN <name>` | — | same, for a built-in DTD |
+//! | `CHECK <handle> [jobs=N] [memo=0]` | 1 (XML) | potential-validity check of one document |
+//! | `BATCH <handle> <count> [jobs=N]` | `count` (XML each) | check a document batch on the two-level scheduler |
+//! | `STATS` | — | server telemetry (uptime, request/work counters, per-DTD memo) |
+//! | `RESET <handle>` | — | clear the handle's shape cache (benchmarking) |
+//! | `SHUTDOWN` | — | stop accepting connections |
+//!
+//! Every response is exactly one line of JSON (strings escape `\n`, so a
+//! line is always a full document): `{"ok":true,…}` on success,
+//! `{"ok":false,"error":"…"}` on failure. A malformed verb line closes
+//! the connection — after a framing error the server cannot know whether
+//! payload bytes follow, so resynchronization is impossible by design.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Upper bound on a payload block (DTD source or document), guarding the
+/// server against absurd allocations. 64 MiB dwarfs any realistic
+/// document-centric file.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Upper bound on one request's **aggregate** payload bytes (a `BATCH`
+/// buffers every document before checking — without this, a single
+/// request could demand `count × MAX_PAYLOAD`).
+pub const MAX_REQUEST_BYTES: usize = 256 << 20;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Compile and intern a DTD under its content hash.
+    Load {
+        /// The designated root element.
+        root: String,
+        /// DTD source text.
+        source: String,
+    },
+    /// Intern a built-in DTD by name.
+    Builtin {
+        /// `pv_dtd::builtin` name, e.g. `play`.
+        name: String,
+    },
+    /// Check one document.
+    Check {
+        /// Handle from a previous `LOAD`/`BUILTIN`.
+        handle: String,
+        /// Worker cap (`0` = all pool workers, `1` = sequential).
+        jobs: usize,
+        /// Shape memoization toggle for this request.
+        memo: bool,
+        /// The document text.
+        xml: String,
+    },
+    /// Check a batch of documents.
+    Batch {
+        /// Handle from a previous `LOAD`/`BUILTIN`.
+        handle: String,
+        /// Worker cap (`0` = all pool workers, `1` = sequential).
+        jobs: usize,
+        /// The document texts.
+        xmls: Vec<String>,
+    },
+    /// Server telemetry.
+    Stats,
+    /// Clear a handle's shape cache.
+    Reset {
+        /// Handle from a previous `LOAD`/`BUILTIN`.
+        handle: String,
+    },
+    /// Stop accepting connections.
+    Shutdown,
+}
+
+/// What one attempt to read a request produced.
+#[derive(Debug)]
+pub enum Frame {
+    /// Clean end of stream (client disconnected between requests).
+    Eof,
+    /// A framing/parse error — the connection must close (see module
+    /// docs: payload boundaries are unknowable after a bad line).
+    Bad(String),
+    /// A well-formed request.
+    Req(Request),
+}
+
+/// Reads one `\n`-terminated line, without the terminator. `None` on EOF
+/// at a request boundary.
+pub fn read_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Writes one length-prefixed payload block.
+pub fn write_block(w: &mut impl Write, bytes: &[u8]) -> io::Result<()> {
+    writeln!(w, "{}", bytes.len())?;
+    w.write_all(bytes)
+}
+
+/// Reads one length-prefixed payload block as UTF-8 text.
+pub fn read_block(r: &mut impl BufRead) -> Result<String, String> {
+    let line = match read_line(r) {
+        Ok(Some(l)) => l,
+        Ok(None) => return Err("eof before payload length".into()),
+        Err(e) => return Err(e.to_string()),
+    };
+    let len: usize = line.trim().parse().map_err(|_| format!("bad payload length {line:?}"))?;
+    if len > MAX_PAYLOAD {
+        return Err(format!("payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte limit"));
+    }
+    // Read incrementally (`take` + `read_to_end`): memory grows with the
+    // bytes that actually arrive, so a client *claiming* a huge payload
+    // and then stalling cannot make the server pre-allocate it. (A
+    // stalled connection still parks its thread — connection timeouts
+    // are part of the service-hardening ROADMAP item.)
+    let mut buf = Vec::new();
+    match r.take(len as u64).read_to_end(&mut buf) {
+        Ok(n) if n == len => {}
+        Ok(n) => return Err(format!("short payload: got {n} of {len} bytes")),
+        Err(e) => return Err(format!("short payload: {e}")),
+    }
+    String::from_utf8(buf).map_err(|_| "payload is not UTF-8".into())
+}
+
+fn parse_kv(args: &[&str], key: &str) -> Result<Option<u64>, String> {
+    for a in args {
+        if let Some(v) = a.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')) {
+            return v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad {key} value {v:?}"));
+        }
+    }
+    Ok(None)
+}
+
+/// Reads and parses one request from the stream.
+pub fn read_request(r: &mut impl BufRead) -> io::Result<Frame> {
+    let line = match read_line(r)? {
+        None => return Ok(Frame::Eof),
+        Some(l) => l,
+    };
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    let bad = |msg: String| Ok(Frame::Bad(msg));
+    let Some((&verb, args)) = parts.split_first() else {
+        return bad("empty request line".into());
+    };
+    match verb {
+        "PING" => Ok(Frame::Req(Request::Ping)),
+        "STATS" => Ok(Frame::Req(Request::Stats)),
+        "SHUTDOWN" => Ok(Frame::Req(Request::Shutdown)),
+        "RESET" => match args {
+            [handle] => Ok(Frame::Req(Request::Reset { handle: (*handle).to_owned() })),
+            _ => bad("RESET takes exactly one handle".into()),
+        },
+        "BUILTIN" => match args {
+            [name] => Ok(Frame::Req(Request::Builtin { name: (*name).to_owned() })),
+            _ => bad("BUILTIN takes exactly one name".into()),
+        },
+        "LOAD" => {
+            let [root] = args else {
+                return bad("LOAD takes exactly one root name".into());
+            };
+            match read_block(r) {
+                Ok(source) => {
+                    Ok(Frame::Req(Request::Load { root: (*root).to_owned(), source }))
+                }
+                Err(e) => bad(e),
+            }
+        }
+        "CHECK" => {
+            let Some((&handle, opts)) = args.split_first() else {
+                return bad("CHECK needs a handle".into());
+            };
+            let jobs = match parse_kv(opts, "jobs") {
+                Ok(v) => v.unwrap_or(1) as usize,
+                Err(e) => return bad(e),
+            };
+            let memo = match parse_kv(opts, "memo") {
+                Ok(v) => v.unwrap_or(1) != 0,
+                Err(e) => return bad(e),
+            };
+            match read_block(r) {
+                Ok(xml) => Ok(Frame::Req(Request::Check {
+                    handle: handle.to_owned(),
+                    jobs,
+                    memo,
+                    xml,
+                })),
+                Err(e) => bad(e),
+            }
+        }
+        "BATCH" => {
+            let (&handle, rest) = match args.split_first() {
+                Some(x) => x,
+                None => return bad("BATCH needs a handle and a count".into()),
+            };
+            let (&count_s, opts) = match rest.split_first() {
+                Some(x) => x,
+                None => return bad("BATCH needs a document count".into()),
+            };
+            let count: usize = match count_s.parse() {
+                Ok(c) => c,
+                Err(_) => return bad(format!("bad BATCH count {count_s:?}")),
+            };
+            if count > 100_000 {
+                return bad(format!("BATCH count {count} is absurd"));
+            }
+            let jobs = match parse_kv(opts, "jobs") {
+                Ok(v) => v.unwrap_or(0) as usize,
+                Err(e) => return bad(e),
+            };
+            let mut xmls = Vec::with_capacity(count.min(1024));
+            let mut total = 0usize;
+            for _ in 0..count {
+                match read_block(r) {
+                    Ok(xml) => {
+                        total += xml.len();
+                        if total > MAX_REQUEST_BYTES {
+                            return bad(format!(
+                                "batch exceeds the {MAX_REQUEST_BYTES}-byte aggregate limit"
+                            ));
+                        }
+                        xmls.push(xml);
+                    }
+                    Err(e) => return bad(e),
+                }
+            }
+            Ok(Frame::Req(Request::Batch { handle: handle.to_owned(), jobs, xmls }))
+        }
+        other => bad(format!("unknown verb {other:?}")),
+    }
+}
+
+/// Writes a request in wire form (the client half).
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    match req {
+        Request::Ping => writeln!(w, "PING"),
+        Request::Stats => writeln!(w, "STATS"),
+        Request::Shutdown => writeln!(w, "SHUTDOWN"),
+        Request::Reset { handle } => writeln!(w, "RESET {handle}"),
+        Request::Builtin { name } => writeln!(w, "BUILTIN {name}"),
+        Request::Load { root, source } => {
+            writeln!(w, "LOAD {root}")?;
+            write_block(w, source.as_bytes())
+        }
+        Request::Check { handle, jobs, memo, xml } => {
+            writeln!(w, "CHECK {handle} jobs={jobs} memo={}", u8::from(*memo))?;
+            write_block(w, xml.as_bytes())
+        }
+        Request::Batch { handle, jobs, xmls } => {
+            writeln!(w, "BATCH {handle} {} jobs={jobs}", xmls.len())?;
+            for xml in xmls {
+                write_block(w, xml.as_bytes())?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn round_trip(req: Request) {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        let mut r = BufReader::new(wire.as_slice());
+        match read_request(&mut r).unwrap() {
+            Frame::Req(back) => assert_eq!(back, req),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip(Request::Ping);
+        round_trip(Request::Stats);
+        round_trip(Request::Shutdown);
+        round_trip(Request::Reset { handle: "d0".into() });
+        round_trip(Request::Builtin { name: "play".into() });
+        round_trip(Request::Load { root: "r".into(), source: "<!ELEMENT r EMPTY>\n".into() });
+        round_trip(Request::Check {
+            handle: "d1".into(),
+            jobs: 4,
+            memo: false,
+            xml: "<r>\nmultiline\n</r>".into(),
+        });
+        round_trip(Request::Batch {
+            handle: "d1".into(),
+            jobs: 0,
+            xmls: vec!["<r/>".into(), "<r>two</r>".into()],
+        });
+    }
+
+    #[test]
+    fn framing_errors_are_reported_not_fatal_to_the_reader() {
+        let mut r = BufReader::new("NOPE x\n".as_bytes());
+        assert!(matches!(read_request(&mut r).unwrap(), Frame::Bad(_)));
+        let mut r = BufReader::new("CHECK\n".as_bytes());
+        assert!(matches!(read_request(&mut r).unwrap(), Frame::Bad(_)));
+        let mut r = BufReader::new("CHECK d0\nnot-a-length\n".as_bytes());
+        assert!(matches!(read_request(&mut r).unwrap(), Frame::Bad(_)));
+        let mut r = BufReader::new("".as_bytes());
+        assert!(matches!(read_request(&mut r).unwrap(), Frame::Eof));
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let wire = format!("CHECK d0\n{}\n", MAX_PAYLOAD + 1);
+        let mut r = BufReader::new(wire.as_bytes());
+        assert!(matches!(read_request(&mut r).unwrap(), Frame::Bad(_)));
+    }
+}

@@ -1,0 +1,596 @@
+//! The resident validation server.
+//!
+//! One process holds the expensive state — a persistent [`Pool`] of
+//! parked workers and, per loaded DTD, a [`CheckEngine`] whose compiled
+//! DAGs and **warm shape cache** outlive every request — and serves the
+//! [`crate::proto`] protocol over a unix socket or a loopback TCP port.
+//! Each connection gets a thread (requests within a connection are
+//! sequential; the pool serializes parallel regions across connections),
+//! and every check flows through exactly the same `pv-core` code as the
+//! in-process entry points, so outcomes are bit-identical to
+//! `PvChecker::check_document` — `tests/service_differential.rs` holds
+//! that over the wire.
+//!
+//! DTD loading is **idempotent by content**: `LOAD`/`BUILTIN` intern the
+//! compiled DTD under a hash of `(root, source)` and return the same
+//! handle — with its warm cache — for the same input, so reconnecting
+//! clients keep hitting the cache they warmed.
+
+use crate::json::{self, Json};
+use crate::proto::{self, Frame, Request};
+use pv_core::engine::CheckEngine;
+use pv_core::recognizer::RecognizerStats;
+use pv_dtd::builtin::BuiltinDtd;
+use pv_dtd::DtdAnalysis;
+use pv_par::Pool;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{self, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Where a server listens (and a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A unix-domain socket at this path.
+    Unix(PathBuf),
+    /// A TCP address, `host:port` (`port` may be `0` to let the OS pick —
+    /// the bound [`ServerHandle::endpoint`] reports the real one).
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parses an address string: anything containing a `/` (or ending in
+    /// `.sock`) is a unix socket path, everything else is `host:port`.
+    pub fn parse(s: &str) -> Endpoint {
+        if s.contains('/') || s.ends_with(".sock") {
+            Endpoint::Unix(PathBuf::from(s))
+        } else {
+            Endpoint::Tcp(s.to_owned())
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(p) => write!(f, "{}", p.display()),
+            Endpoint::Tcp(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// A connected byte stream of either flavour.
+pub(crate) enum Stream {
+    /// Unix-domain.
+    #[cfg(unix)]
+    Unix(UnixStream),
+    /// TCP.
+    Tcp(TcpStream),
+}
+
+impl io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl io::Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Connects a [`Stream`] to an endpoint (shared by the client and the
+/// server's own shutdown wake-up).
+pub(crate) fn connect(endpoint: &Endpoint) -> io::Result<Stream> {
+    match endpoint {
+        #[cfg(unix)]
+        Endpoint::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+        #[cfg(not(unix))]
+        Endpoint::Unix(_) => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "unix sockets are not available on this platform",
+        )),
+        Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str()).map(Stream::Tcp),
+    }
+}
+
+enum Listener {
+    #[cfg(unix)]
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+}
+
+/// One interned DTD: the engine plus display metadata.
+struct DtdEntry {
+    engine: Arc<CheckEngine>,
+    label: String,
+}
+
+/// Shared server state.
+struct ServiceState {
+    pool: Pool,
+    /// handle → entry.
+    dtds: RwLock<HashMap<String, Arc<DtdEntry>>>,
+    /// full key material → handle (the idempotence map). Keyed by the
+    /// verbatim `(kind, root, source)` string, not a digest: a resident
+    /// multi-tenant server must not let a hash collision silently hand
+    /// one client another client's engine.
+    interned: RwLock<HashMap<String, String>>,
+    next_handle: AtomicU64,
+    requests: AtomicU64,
+    documents: AtomicU64,
+    /// Work counters merged over every check the server ran.
+    totals: Mutex<RecognizerStats>,
+    started: Instant,
+    shutdown: AtomicBool,
+    /// A connectable form of the listen endpoint — a `SHUTDOWN` handler
+    /// self-connects here to release the blocking `accept`. For wildcard
+    /// TCP binds (`0.0.0.0` / `[::]`) this is rewritten to the loopback
+    /// address with the resolved port, since connecting *to* a wildcard
+    /// address is not portable.
+    endpoint: Endpoint,
+}
+
+impl ServiceState {
+    fn intern(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> Result<(DtdAnalysis, String), String>,
+    ) -> Result<(String, Arc<DtdEntry>), String> {
+        if let Some(handle) = self.interned.read().unwrap().get(key) {
+            let entry = self.dtds.read().unwrap()[handle].clone();
+            return Ok((handle.clone(), entry));
+        }
+        let (analysis, label) = build()?;
+        let engine = CheckEngine::new(analysis);
+        let entry = Arc::new(DtdEntry { engine, label });
+        let mut interned = self.interned.write().unwrap();
+        // Double-checked under the write lock: a racing loader wins once.
+        if let Some(handle) = interned.get(key) {
+            let existing = self.dtds.read().unwrap()[handle].clone();
+            return Ok((handle.clone(), existing));
+        }
+        let handle = format!("d{}", self.next_handle.fetch_add(1, Ordering::Relaxed));
+        interned.insert(key.to_owned(), handle.clone());
+        self.dtds.write().unwrap().insert(handle.clone(), entry.clone());
+        Ok((handle, entry))
+    }
+
+    fn entry(&self, handle: &str) -> Result<Arc<DtdEntry>, String> {
+        self.dtds
+            .read()
+            .unwrap()
+            .get(handle)
+            .cloned()
+            .ok_or_else(|| format!("unknown DTD handle {handle:?} (LOAD or BUILTIN first)"))
+    }
+
+    fn record(&self, docs: u64, stats: &RecognizerStats) {
+        self.documents.fetch_add(docs, Ordering::Relaxed);
+        self.totals.lock().unwrap().merge(stats);
+    }
+}
+
+/// A running server: the acceptor thread plus its resolved endpoint.
+pub struct ServerHandle {
+    endpoint: Endpoint,
+    state: Arc<ServiceState>,
+    acceptor: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The endpoint clients should connect to (TCP port resolved).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Blocks until the server stops accepting (a `SHUTDOWN` request or
+    /// [`ServerHandle::shutdown`]).
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        Self::cleanup(&self.endpoint);
+    }
+
+    /// Stops accepting connections and joins the acceptor. In-flight
+    /// connections finish their current requests and close on their own.
+    pub fn shutdown(self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        let _ = connect(&self.state.endpoint); // wake the blocking accept
+        let _ = self.acceptor.join();
+        Self::cleanup(&self.endpoint);
+    }
+
+    fn cleanup(endpoint: &Endpoint) {
+        if let Endpoint::Unix(path) = endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// The server constructor: see the module docs at the top of this file
+/// (re-exported as the crate-level `Server`).
+pub struct Server;
+
+impl Server {
+    /// Binds and starts serving in background threads. `jobs` sizes the
+    /// persistent pool (`0` = one worker per CPU).
+    pub fn bind(endpoint: &Endpoint, jobs: usize) -> io::Result<ServerHandle> {
+        let (listener, endpoint) = match endpoint {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                // A stale socket file from a dead server blocks bind —
+                // but only remove it after proving no server answers
+                // there, or a restart race would silently hijack (and
+                // later delete) a live server's endpoint.
+                if path.exists() {
+                    if UnixStream::connect(path).is_ok() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::AddrInUse,
+                            format!("a server is already listening on {}", path.display()),
+                        ));
+                    }
+                    let _ = std::fs::remove_file(path);
+                }
+                (Listener::Unix(UnixListener::bind(path)?), Endpoint::Unix(path.clone()))
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix sockets are not available on this platform",
+                ))
+            }
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                let resolved = l.local_addr()?.to_string();
+                (Listener::Tcp(l), Endpoint::Tcp(resolved))
+            }
+        };
+        let state = Arc::new(ServiceState {
+            pool: Pool::new(jobs),
+            dtds: RwLock::new(HashMap::new()),
+            interned: RwLock::new(HashMap::new()),
+            next_handle: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            documents: AtomicU64::new(0),
+            totals: Mutex::new(RecognizerStats::default()),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            endpoint: connectable(&endpoint),
+        });
+        let accept_state = Arc::clone(&state);
+        let acceptor = std::thread::Builder::new()
+            .name("pv-serve-accept".into())
+            .spawn(move || {
+                accept_loop(&listener, &accept_state);
+            })
+            .expect("spawning the acceptor");
+        Ok(ServerHandle { endpoint, state, acceptor })
+    }
+}
+
+/// A form of the bound endpoint one can `connect` to: wildcard TCP hosts
+/// become loopback (connecting to `0.0.0.0`/`[::]` is not portable).
+fn connectable(endpoint: &Endpoint) -> Endpoint {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            if let Some(port) = addr.strip_prefix("0.0.0.0:") {
+                Endpoint::Tcp(format!("127.0.0.1:{port}"))
+            } else if let Some(port) = addr.strip_prefix("[::]:") {
+                Endpoint::Tcp(format!("[::1]:{port}"))
+            } else {
+                endpoint.clone()
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+fn accept_loop(listener: &Listener, state: &Arc<ServiceState>) {
+    let mut conn_id = 0u64;
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok(stream) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return; // the wake-up connection itself
+                }
+                let state = Arc::clone(state);
+                conn_id += 1;
+                let _ = std::thread::Builder::new()
+                    .name(format!("pv-serve-conn-{conn_id}"))
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &state);
+                    });
+            }
+            Err(_) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept error: keep serving.
+            }
+        }
+    }
+}
+
+fn respond(stream: &mut impl Write, body: String) -> io::Result<()> {
+    debug_assert!(!body.contains('\n'), "responses are newline-framed");
+    stream.write_all(body.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+fn err_response(msg: &str) -> String {
+    let mut out = String::from("{\"ok\":false,\"error\":");
+    json::write_str(&mut out, msg);
+    out.push('}');
+    out
+}
+
+fn serve_connection(stream: Stream, state: &Arc<ServiceState>) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let frame = proto::read_request(&mut reader)?;
+        if matches!(frame, Frame::Req(_)) {
+            state.requests.fetch_add(1, Ordering::Relaxed);
+        }
+        match frame {
+            Frame::Eof => return Ok(()),
+            Frame::Bad(msg) => {
+                // A framing error poisons the payload boundary: report and
+                // close (module docs).
+                let _ = respond(reader.get_mut(), err_response(&msg));
+                return Ok(());
+            }
+            Frame::Req(req) => {
+                let shutdown = matches!(req, Request::Shutdown);
+                let body = handle_request(req, state);
+                respond(reader.get_mut(), body)?;
+                if shutdown {
+                    // The acceptor blocks in `accept`; one self-connect
+                    // makes it re-check the flag and exit.
+                    let _ = connect(&state.endpoint);
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+fn handle_request(req: Request, state: &Arc<ServiceState>) -> String {
+    match req {
+        Request::Ping => "{\"ok\":true,\"pong\":true}".to_owned(),
+        Request::Shutdown => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            "{\"ok\":true,\"shutting_down\":true}".to_owned()
+        }
+        Request::Reset { handle } => match state.entry(&handle) {
+            Ok(entry) => {
+                entry.engine.memo_clear();
+                "{\"ok\":true}".to_owned()
+            }
+            Err(e) => err_response(&e),
+        },
+        Request::Builtin { name } => {
+            let result = state.intern(&format!("builtin\u{0}{name}"), || {
+                let b = BuiltinDtd::ALL
+                    .iter()
+                    .copied()
+                    .find(|b| b.name() == name)
+                    .ok_or_else(|| format!("unknown builtin {name:?}"))?;
+                Ok((b.analysis(), format!("builtin:{name}")))
+            });
+            load_response(result)
+        }
+        Request::Load { root, source } => {
+            let result = state.intern(&format!("load\u{0}{root}\u{0}{source}"), || {
+                let analysis = DtdAnalysis::parse(&source, &root)
+                    .map_err(|e| format!("DTD error: {e}"))?;
+                Ok((analysis, format!("loaded:{root}")))
+            });
+            load_response(result)
+        }
+        Request::Stats => {
+            let totals = *state.totals.lock().unwrap();
+            let mut out = String::from("{\"ok\":true");
+            let _ = write!(
+                out,
+                ",\"uptime_ms\":{},\"requests\":{},\"documents\":{},\"workers\":{}",
+                state.started.elapsed().as_millis(),
+                state.requests.load(Ordering::Relaxed),
+                state.documents.load(Ordering::Relaxed),
+                state.pool.workers(),
+            );
+            let _ = write!(
+                out,
+                ",\"speculation\":{{\"symbols\":{},\"node_visits\":{},\"subs_created\":{},\"specs_denied\":{}}}",
+                totals.symbols, totals.node_visits, totals.subs_created, totals.specs_denied
+            );
+            out.push_str(",\"dtds\":[");
+            let dtds = state.dtds.read().unwrap();
+            let mut handles: Vec<&String> = dtds.keys().collect();
+            handles.sort();
+            for (i, handle) in handles.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let entry = &dtds[*handle];
+                out.push_str("{\"handle\":");
+                json::write_str(&mut out, handle);
+                out.push_str(",\"label\":");
+                json::write_str(&mut out, &entry.label);
+                out.push_str(",\"class\":");
+                json::write_str(&mut out, &entry.engine.analysis().rec.class.to_string());
+                out.push_str(",\"memo\":");
+                match entry.engine.memo_stats() {
+                    Some(m) => json::write_memo(&mut out, &m),
+                    None => out.push_str("null"),
+                }
+                out.push('}');
+            }
+            out.push_str("]}");
+            out
+        }
+        Request::Check { handle, jobs, memo, xml } => match state.entry(&handle) {
+            Ok(entry) => match pv_xml::parse(&xml) {
+                Ok(doc) => {
+                    // Everything runs on the resident pool (never a
+                    // per-request thread spawn); `jobs` follows the
+                    // documented semantics (0 = all pool workers, 1 =
+                    // sequential) and `memo=0` detaches the shared cache
+                    // without changing the scheduling.
+                    let outcome = entry.engine.check_document_pooled(
+                        &Arc::new(doc),
+                        &state.pool,
+                        jobs,
+                        memo,
+                    );
+                    state.record(1, &outcome.stats);
+                    check_response(&outcome, &entry, memo)
+                }
+                Err(e) => err_response(&format!("document is not well-formed: {e}")),
+            },
+            Err(e) => err_response(&e),
+        },
+        Request::Batch { handle, jobs, xmls } => match state.entry(&handle) {
+            Ok(entry) => {
+                let mut docs = Vec::with_capacity(xmls.len());
+                for (i, xml) in xmls.iter().enumerate() {
+                    match pv_xml::parse(xml) {
+                        Ok(d) => docs.push(d),
+                        Err(e) => {
+                            return err_response(&format!(
+                                "document #{i} is not well-formed: {e}"
+                            ))
+                        }
+                    }
+                }
+                let docs = Arc::new(docs);
+                let outcomes = entry.engine.check_batch_pooled(&docs, &state.pool, jobs);
+                let mut merged = RecognizerStats::default();
+                for o in &outcomes {
+                    merged.merge(&o.stats);
+                }
+                state.record(outcomes.len() as u64, &merged);
+                let mut out = String::from("{\"ok\":true,\"outcomes\":[");
+                for (i, o) in outcomes.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json::write_outcome(&mut out, o);
+                }
+                out.push_str("]}");
+                out
+            }
+            Err(e) => err_response(&e),
+        },
+    }
+}
+
+fn load_response(result: Result<(String, Arc<DtdEntry>), String>) -> String {
+    match result {
+        Err(e) => err_response(&e),
+        Ok((handle, entry)) => {
+            let a = entry.engine.analysis();
+            let mut out = String::from("{\"ok\":true,\"handle\":");
+            json::write_str(&mut out, &handle);
+            out.push_str(",\"label\":");
+            json::write_str(&mut out, &entry.label);
+            out.push_str(",\"class\":");
+            json::write_str(&mut out, &a.rec.class.to_string());
+            let _ = write!(
+                out,
+                ",\"elements\":{},\"depth\":{}}}",
+                a.stats.m,
+                entry.engine.depth()
+            );
+            out
+        }
+    }
+}
+
+fn check_response(outcome: &pv_core::checker::PvOutcome, entry: &DtdEntry, memo: bool) -> String {
+    let mut out = String::from("{\"ok\":true,\"outcome\":");
+    json::write_outcome(&mut out, outcome);
+    out.push_str(",\"memo\":");
+    match entry.engine.memo_stats().filter(|_| memo) {
+        Some(m) => json::write_memo(&mut out, &m),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"label\":");
+    json::write_str(&mut out, &entry.label);
+    out.push_str(",\"class\":");
+    json::write_str(&mut out, &entry.engine.analysis().rec.class.to_string());
+    let _ = write!(out, ",\"depth\":{}}}", entry.engine.depth());
+    out
+}
+
+/// Parses a server response line into JSON, surfacing `ok:false` errors.
+pub(crate) fn parse_response(line: &str) -> Result<Json, String> {
+    let v = json::parse(line).map_err(|e| format!("bad response JSON: {e}"))?;
+    match v.get("ok").and_then(Json::as_bool) {
+        Some(true) => Ok(v),
+        Some(false) => Err(v
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unspecified server error")
+            .to_owned()),
+        None => Err("response missing \"ok\"".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parsing() {
+        assert_eq!(
+            Endpoint::parse("/tmp/pv.sock"),
+            Endpoint::Unix(PathBuf::from("/tmp/pv.sock"))
+        );
+        assert_eq!(Endpoint::parse("pv.sock"), Endpoint::Unix(PathBuf::from("pv.sock")));
+        assert_eq!(Endpoint::parse("127.0.0.1:7070"), Endpoint::Tcp("127.0.0.1:7070".into()));
+    }
+
+    #[test]
+    fn error_responses_are_single_line_json() {
+        let r = err_response("bad\nthing");
+        assert!(!r.contains('\n'));
+        assert!(parse_response(&r).is_err());
+    }
+}

@@ -153,12 +153,139 @@ pub fn tei(target_elements: usize) -> Document {
     doc
 }
 
+/// A scholarly article (DocbookArticle DTD) with roughly
+/// `target_elements` elements: front matter, then `sect1` blocks mixing
+/// paragraphs (with inline emphasis and footnotes), item lists, and one
+/// `sect2` subsection each.
+pub fn docbook_article(target_elements: usize) -> Document {
+    let mut doc = Document::new("article");
+    let root = doc.root();
+    let title = doc.append_element(root, "title").unwrap();
+    doc.append_text(title, "On the Potential Validity of Editorial Markup").unwrap();
+    let info = doc.append_element(root, "articleinfo").unwrap();
+    let author = doc.append_element(info, "author").unwrap();
+    let first = doc.append_element(author, "firstname").unwrap();
+    doc.append_text(first, "Ada").unwrap();
+    let sur = doc.append_element(author, "surname").unwrap();
+    doc.append_text(sur, "Lovelace").unwrap();
+    let date = doc.append_element(info, "date").unwrap();
+    doc.append_text(date, "2006-04-03").unwrap();
+    let abs = doc.append_element(root, "abstract").unwrap();
+    let abs_p = doc.append_element(abs, "para").unwrap();
+    doc.append_text(abs_p, "We study in-progress documents.").unwrap();
+
+    let mut produced = 9usize;
+    let mut section = 0usize;
+    while produced < target_elements {
+        section += 1;
+        let s1 = doc.append_element(root, "sect1").unwrap();
+        let t = doc.append_element(s1, "title").unwrap();
+        doc.append_text(t, "Section").unwrap();
+        produced += 2;
+        for pi in 0..3 {
+            let p = doc.append_element(s1, "para").unwrap();
+            doc.append_text(p, "A quick brown fox jumps over a ").unwrap();
+            let em = doc.append_element(p, "emphasis").unwrap();
+            doc.append_text(em, "lazy").unwrap();
+            doc.append_text(p, " dog").unwrap();
+            produced += 2;
+            if pi == 1 {
+                let fnote = doc.append_element(p, "footnote").unwrap();
+                let fp = doc.append_element(fnote, "para").unwrap();
+                doc.append_text(fp, "Not an actual dog.").unwrap();
+                produced += 2;
+            }
+        }
+        let list = doc.append_element(s1, "itemizedlist").unwrap();
+        produced += 1;
+        for item in ["insert", "delete", "update"] {
+            let li = doc.append_element(list, "listitem").unwrap();
+            let lp = doc.append_element(li, "para").unwrap();
+            doc.append_text(lp, item).unwrap();
+            produced += 2;
+        }
+        if section.is_multiple_of(2) {
+            let s2 = doc.append_element(s1, "sect2").unwrap();
+            let t2 = doc.append_element(s2, "title").unwrap();
+            doc.append_text(t2, "Subsection").unwrap();
+            let p2 = doc.append_element(s2, "para").unwrap();
+            doc.append_text(p2, "Details follow.").unwrap();
+            produced += 3;
+        }
+    }
+    debug_assert!(doc.check_integrity().is_ok());
+    doc
+}
+
+/// A performance text (TeiDrama DTD) with roughly `target_elements`
+/// elements: a cast list up front, then acts (`div`) of speeches mixing
+/// prose, verse lines, and stage directions.
+pub fn tei_drama(target_elements: usize) -> Document {
+    let mut doc = Document::new("TEI");
+    let root = doc.root();
+    let header = doc.append_element(root, "teiHeader").unwrap();
+    let fd = doc.append_element(header, "fileDesc").unwrap();
+    let ts = doc.append_element(fd, "titleStmt").unwrap();
+    let t = doc.append_element(ts, "title").unwrap();
+    doc.append_text(t, "The Marked-Up Tragedy").unwrap();
+    let text = doc.append_element(root, "text").unwrap();
+    let front = doc.append_element(text, "front").unwrap();
+    let cast = doc.append_element(front, "castList").unwrap();
+    for who in ["EDITOR", "PARSER"] {
+        let item = doc.append_element(cast, "castItem").unwrap();
+        let role = doc.append_element(item, "role").unwrap();
+        doc.append_text(role, who).unwrap();
+    }
+    let body = doc.append_element(text, "body").unwrap();
+
+    let mut produced = 11usize;
+    while produced < target_elements {
+        let div = doc.append_element(body, "div").unwrap();
+        let head = doc.append_element(div, "head").unwrap();
+        doc.append_text(head, "Act").unwrap();
+        let opening = doc.append_element(div, "stage").unwrap();
+        doc.append_text(opening, "Enter EDITOR, stage left.").unwrap();
+        produced += 3;
+        for s in 0..4 {
+            let sp = doc.append_element(div, "sp").unwrap();
+            let speaker = doc.append_element(sp, "speaker").unwrap();
+            doc.append_text(speaker, if s % 2 == 0 { "EDITOR" } else { "PARSER" }).unwrap();
+            produced += 2;
+            if s % 2 == 0 {
+                for l in 0..3 {
+                    let line = doc.append_element(sp, "l").unwrap();
+                    doc.append_text(line, match l {
+                        0 => "Shall I compare thee to a well-formed tree?",
+                        1 => "Thou art more lovely and more deterministic:",
+                        _ => "Rough winds do shake the darling tags of May,",
+                    })
+                    .unwrap();
+                    produced += 1;
+                }
+            } else {
+                let p = doc.append_element(sp, "p").unwrap();
+                doc.append_text(p, "Speak the speech, I pray you, with ").unwrap();
+                let hi = doc.append_element(p, "hi").unwrap();
+                doc.append_text(hi, "balanced tags").unwrap();
+                doc.append_text(p, ".").unwrap();
+                let stage = doc.append_element(sp, "stage").unwrap();
+                doc.append_text(stage, "Gestures at the DOM.").unwrap();
+                produced += 3;
+            }
+        }
+    }
+    debug_assert!(doc.check_integrity().is_ok());
+    doc
+}
+
 /// Builds the standard corpus document for a built-in DTD, when one exists.
 pub fn for_builtin(b: BuiltinDtd, target_elements: usize) -> Option<Document> {
     match b {
         BuiltinDtd::Play => Some(play(target_elements)),
         BuiltinDtd::XhtmlBasic => Some(xhtml(target_elements)),
         BuiltinDtd::TeiLite => Some(tei(target_elements)),
+        BuiltinDtd::DocbookArticle => Some(docbook_article(target_elements)),
+        BuiltinDtd::TeiDrama => Some(tei_drama(target_elements)),
         _ => None,
     }
 }
@@ -369,6 +496,8 @@ mod tests {
             (BuiltinDtd::Play, play(500)),
             (BuiltinDtd::XhtmlBasic, xhtml(500)),
             (BuiltinDtd::TeiLite, tei(500)),
+            (BuiltinDtd::DocbookArticle, docbook_article(500)),
+            (BuiltinDtd::TeiDrama, tei_drama(500)),
         ] {
             let analysis = b.analysis();
             validate_document(&doc, &analysis.dtd, analysis.root)

@@ -21,6 +21,15 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds an id from [`NodeId::index`] — for serialization layers
+    /// (the validation service ships violation nodes over the wire). An id
+    /// is only meaningful against the arena it came from; nothing checks
+    /// that here.
+    #[inline]
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(i as u32)
+    }
 }
 
 impl fmt::Display for NodeId {

@@ -15,8 +15,12 @@
 //! * [`core`] ([`pv_core`]) — the paper's contribution: `δ_T`/`Δ_T`,
 //!   the per-element DAG model, the ECRecognizer, whole-document and
 //!   incremental potential-validity checking;
-//! * [`par`] ([`pv_par`]) — the scoped work-stealing thread pool behind
-//!   sharded document checking;
+//! * [`par`] ([`pv_par`]) — the work-stealing parallelism layer: scoped
+//!   regions for one-shot callers and the persistent [`pv_par::Pool`]
+//!   behind the resident service;
+//! * [`service`] ([`pv_service`]) — the resident validation server and
+//!   its client (`pvx serve` / `pvx check --remote`): warm caches,
+//!   parked workers, a newline-framed length-prefixed wire protocol;
 //! * [`workload`] ([`pv_workload`]) — random DTD/document/trace generators;
 //! * [`editor`] ([`pv_editor`]) — always-potentially-valid editing
 //!   sessions.
@@ -65,6 +69,7 @@ pub use pv_par as par;
 pub use pv_dtd as dtd;
 pub use pv_editor as editor;
 pub use pv_grammar as grammar;
+pub use pv_service as service;
 pub use pv_workload as workload;
 pub use pv_xml as xml;
 
@@ -72,6 +77,7 @@ pub use pv_xml as xml;
 pub mod prelude {
     pub use pv_core::checker::{PvChecker, PvOutcome, PvViolation};
     pub use pv_core::depth::DepthPolicy;
+    pub use pv_core::engine::CheckEngine;
     pub use pv_core::token::{ChildSym, Tok, Tokens};
     pub use pv_dtd::builtin::BuiltinDtd;
     pub use pv_dtd::{Dtd, DtdAnalysis, DtdClass};

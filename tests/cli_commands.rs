@@ -2,7 +2,7 @@
 //! on-disk-style inputs (documents carrying their DTD in the internal
 //! subset — the self-contained file format the tool is built around).
 
-use pv_cli::{cmd_check, cmd_classify, cmd_complete, cmd_lint, cmd_validate, resolve_dtd, Status};
+use pv_cli::{cmd_check, cmd_classify, cmd_complete, cmd_lint, cmd_validate, resolve_dtd, CheckOpts, Status};
 use pv_core::depth::DepthPolicy;
 
 const FIG1_SUBSET: &str = "
@@ -19,7 +19,7 @@ fn check_via_internal_subset() {
     let doc = doc_with_subset("<r><a><b>x</b><c>y</c> dog<e/></a></r>");
     let ctx = resolve_dtd(None, None, None, Some(&doc)).unwrap();
     assert_eq!(ctx.source, "internal subset");
-    let (report, status) = cmd_check(&ctx, "s.xml", &doc, DepthPolicy::Auto, 1, true);
+    let (report, status) = cmd_check(&ctx, "s.xml", &doc, &CheckOpts::default());
     assert_eq!(status, Status::Ok);
     assert!(report.contains("POTENTIALLY VALID"));
     assert!(report.contains("non-recursive"));
@@ -29,7 +29,7 @@ fn check_via_internal_subset() {
 fn check_failure_names_the_symbol() {
     let doc = doc_with_subset("<r><a><b>x</b><e/><c>y</c></a></r>");
     let ctx = resolve_dtd(None, None, None, Some(&doc)).unwrap();
-    let (report, status) = cmd_check(&ctx, "w.xml", &doc, DepthPolicy::Auto, 2, true);
+    let (report, status) = cmd_check(&ctx, "w.xml", &doc, &CheckOpts { jobs: 2, ..CheckOpts::default() });
     assert_eq!(status, Status::Failed);
     assert!(report.contains("<c>"), "{report}");
     assert!(report.contains("deletion or renaming"), "{report}");
@@ -76,7 +76,7 @@ fn explicit_root_respects_usability() {
     ))
     .unwrap();
     let ctx = resolve_dtd(None, None, None, Some(&doc)).unwrap();
-    let (_, status) = cmd_check(&ctx, "frag", &doc, DepthPolicy::Auto, 1, true);
+    let (_, status) = cmd_check(&ctx, "frag", &doc, &CheckOpts::default());
     assert_eq!(status, Status::Ok);
 }
 
@@ -106,6 +106,18 @@ fn bounded_depth_flag_reaches_the_checker() {
     )
     .unwrap();
     let ctx = resolve_dtd(None, None, None, Some(&doc)).unwrap();
-    assert_eq!(cmd_check(&ctx, "t", &doc, DepthPolicy::Bounded(0), 1, true).1, Status::Failed);
-    assert_eq!(cmd_check(&ctx, "t", &doc, DepthPolicy::Bounded(1), 1, false).1, Status::Ok);
+    assert_eq!(
+        cmd_check(&ctx, "t", &doc, &CheckOpts { depth: DepthPolicy::Bounded(0), ..CheckOpts::default() }).1,
+        Status::Failed
+    );
+    assert_eq!(
+        cmd_check(
+            &ctx,
+            "t",
+            &doc,
+            &CheckOpts { depth: DepthPolicy::Bounded(1), memo: false, ..CheckOpts::default() }
+        )
+        .1,
+        Status::Ok
+    );
 }

@@ -103,6 +103,41 @@ fn batch_checking_matches_per_document_sequential() {
     }
 }
 
+#[test]
+fn mixed_batch_with_giant_document_checks_identically() {
+    // One document above the node-granular threshold among many small
+    // ones: the two-level scheduler lets idle workers join the giant
+    // document's node range. Outcomes must stay bit-identical to the
+    // per-document sequential checks — healthy and poisoned variants.
+    let analysis = BuiltinDtd::Play.analysis();
+    let checker = PvChecker::new(&analysis);
+    for poison_giant in [false, true] {
+        let mut docs = vec![corpus::play(3_000)]; // >> PARALLEL_MIN_NODES
+        docs.extend((0..6).map(|i| corpus::play(60 + 10 * i)));
+        if poison_giant {
+            // An undeclared element deep in the giant document.
+            let target = docs[0]
+                .elements()
+                .nth(1_500)
+                .expect("giant doc has plenty of nodes");
+            docs[0].rename_element(target, "NOT_IN_DTD").unwrap();
+        }
+        let expect: Vec<PvOutcome> = docs.iter().map(|d| checker.check_document(d)).collect();
+        assert_eq!(
+            expect[0].is_potentially_valid(),
+            !poison_giant,
+            "scenario must exercise both verdicts"
+        );
+        for jobs in [2usize, 3, 8] {
+            assert_eq!(
+                checker.check_batch(&docs, jobs),
+                expect,
+                "poison={poison_giant} jobs={jobs}"
+            );
+        }
+    }
+}
+
 fn class_strategy() -> impl Strategy<Value = DtdClass> {
     prop_oneof![
         Just(DtdClass::NonRecursive),

@@ -1,0 +1,237 @@
+//! Service differential: outcomes fetched **over the wire** from a
+//! resident `pv-service` server must be bit-identical to in-process
+//! checking — same verdict, same violation (node, kind, symbol, index),
+//! same work counters — at every job count, on warm and cold caches, and
+//! across interleaved DTDs sharing one persistent pool.
+//!
+//! The server parses the same document text the in-process expectation
+//! parses, runs the same `pv-core` code (sequential, or pooled on parked
+//! workers), and ships the outcome as JSON; the client rebuilds a real
+//! `PvOutcome`. Anything lost or perturbed anywhere in that pipeline —
+//! framing, JSON codecs, engine sharing, pool scheduling, sticky scratch
+//! reuse — shows up here as an inequality.
+
+use potential_validity::prelude::*;
+use pv_dtd::builtin::BuiltinDtd;
+use pv_service::{Client, Endpoint, Server, ServerHandle};
+use pv_workload::corpus;
+use pv_workload::mutate::Mutator;
+
+const JOBS: [usize; 3] = [1, 2, 8];
+
+fn start_server() -> (ServerHandle, Client) {
+    let server = Server::bind(&Endpoint::parse("127.0.0.1:0"), 4).expect("bind on port 0");
+    let client = Client::connect_endpoint(server.endpoint()).expect("connect");
+    (server, client)
+}
+
+/// In-process expectation for a document text under a builtin DTD.
+fn expect_outcome(b: BuiltinDtd, xml: &str) -> PvOutcome {
+    let analysis = b.analysis();
+    let checker = PvChecker::new(&analysis);
+    let doc = pv_xml::parse(xml).unwrap();
+    checker.check_document(&doc)
+}
+
+/// Builtin corpus scenarios as serialized text (valid, stripped, broken).
+fn scenarios(b: BuiltinDtd) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    if let Some(valid) = corpus::for_builtin(b, 300) {
+        let mut stripped = valid.clone();
+        Mutator::new(11).delete_random_markup(&mut stripped, 60);
+        let mut swapped = stripped.clone();
+        Mutator::new(12).swap_random_siblings(&mut swapped);
+        let mut renamed = stripped.clone();
+        Mutator::new(13).rename_random_element(&mut renamed, &b.analysis().dtd);
+        out.push(("valid".to_owned(), valid.to_xml()));
+        out.push(("stripped".to_owned(), stripped.to_xml()));
+        out.push(("swapped".to_owned(), swapped.to_xml()));
+        out.push(("renamed".to_owned(), renamed.to_xml()));
+    }
+    out
+}
+
+#[test]
+fn over_the_wire_outcomes_bit_identical() {
+    let (server, mut client) = start_server();
+    // Hand-written Figure 1 documents covering every violation kind.
+    let fig1 = client.load_builtin("figure1").unwrap();
+    for xml in [
+        "<r><a><b>A quick brown</b><c> fox</c> dog<e/></a></r>", // PV
+        "<r><a><b>A quick brown</b><e/><c> fox</c></a></r>",     // content-rejected
+        "<a><b/></a>",                                           // root mismatch
+        "<r><zzz/></r>",                                         // undeclared element
+        "<r/>",                                                  // trivial
+    ] {
+        let expect = expect_outcome(BuiltinDtd::Figure1, xml);
+        for jobs in JOBS {
+            let got = client.check(&fig1.handle, xml, jobs, true).unwrap();
+            assert_eq!(got.outcome, expect, "figure1 jobs={jobs} xml={xml}");
+        }
+    }
+    // Realistic corpora in several states of (dis)repair.
+    for b in [BuiltinDtd::Play, BuiltinDtd::TeiLite, BuiltinDtd::DocbookArticle] {
+        let dtd = client.load_builtin(b.name()).unwrap();
+        for (label, xml) in scenarios(b) {
+            let expect = expect_outcome(b, &xml);
+            for jobs in JOBS {
+                let got = client.check(&dtd.handle, &xml, jobs, true).unwrap();
+                assert_eq!(got.outcome, expect, "{}:{label} jobs={jobs}", b.name());
+            }
+        }
+    }
+    client.shutdown().unwrap();
+    drop(client);
+    server.join();
+}
+
+#[test]
+fn batch_over_the_wire_matches_per_document_in_process() {
+    let (server, mut client) = start_server();
+    let dtd = client.load_builtin("play").unwrap();
+    let mut docs = corpus::batch(BuiltinDtd::Play, 8, 200).unwrap();
+    for (i, doc) in docs.iter_mut().enumerate() {
+        Mutator::new(i as u64).delete_random_markup(doc, 30);
+        if i % 3 == 0 {
+            Mutator::new(i as u64 ^ 7).swap_random_siblings(doc);
+        }
+    }
+    let mut xmls: Vec<String> = docs.iter().map(|d| d.to_xml()).collect();
+    // The play DTD is insertion-permissive enough that random mutations
+    // usually stay potentially valid; plant two deterministic
+    // unrepairable documents so the batch carries both verdicts.
+    xmls[1] = "<ACT><TITLE>misrooted</TITLE></ACT>".to_owned(); // root mismatch
+    xmls[4] = xmls[4].replacen("<PERSONAE>", "<PERSONAE><FOO>oops</FOO>", 1); // undeclared
+    let expect: Vec<PvOutcome> =
+        xmls.iter().map(|x| expect_outcome(BuiltinDtd::Play, x)).collect();
+    // Both verdicts must occur or the scenario is too weak to matter.
+    assert!(expect.iter().any(|o| o.is_potentially_valid()));
+    assert!(expect.iter().any(|o| !o.is_potentially_valid()));
+    for jobs in [0, 1, 2, 8] {
+        let got = client.check_batch(&dtd.handle, &xmls, jobs).unwrap();
+        assert_eq!(got, expect, "jobs={jobs}");
+    }
+    client.shutdown().unwrap();
+    drop(client);
+    server.join();
+}
+
+#[test]
+fn warm_cache_sequences_identical_to_cold() {
+    let (server, mut client) = start_server();
+    let dtd = client.load_builtin("tei-drama").unwrap();
+    let mut doc = corpus::tei_drama(400);
+    Mutator::new(5).delete_random_markup(&mut doc, 80);
+    let xml = doc.to_xml();
+    let expect = expect_outcome(BuiltinDtd::TeiDrama, &xml);
+    // Cold, then repeatedly warm — the shared cache must never perturb an
+    // outcome (stats deltas replay bit-identically), with or without the
+    // per-request memo, at any job count.
+    for round in 0..4 {
+        for jobs in JOBS {
+            let memoized = client.check(&dtd.handle, &xml, jobs, true).unwrap();
+            assert_eq!(memoized.outcome, expect, "round={round} jobs={jobs} memo=on");
+            assert!(memoized.memo.is_some());
+            let plain = client.check(&dtd.handle, &xml, jobs, false).unwrap();
+            assert_eq!(plain.outcome, expect, "round={round} jobs={jobs} memo=off");
+            assert!(plain.memo.is_none());
+        }
+    }
+    // RESET drops the cache; outcomes still identical afterwards.
+    client.reset(&dtd.handle).unwrap();
+    assert_eq!(client.check(&dtd.handle, &xml, 2, true).unwrap().outcome, expect);
+    client.shutdown().unwrap();
+    drop(client);
+    server.join();
+}
+
+#[test]
+fn pool_reuse_leaks_no_state_between_dtds_and_requests() {
+    let (server, mut client) = start_server();
+    // Two structurally different DTDs interleaved on one pool: sticky
+    // scratch and the shared pool must carry nothing across requests.
+    let fig1 = client.load_builtin("figure1").unwrap();
+    let article = client.load_builtin("docbook-article").unwrap();
+    assert_ne!(fig1.handle, article.handle);
+    let fig1_docs: Vec<(String, PvOutcome)> = [
+        "<r><a><b>x</b><c>y</c> dog<e/></a></r>",
+        "<r><a><b>x</b><e/><c>y</c></a></r>",
+    ]
+    .iter()
+    .map(|x| ((*x).to_owned(), expect_outcome(BuiltinDtd::Figure1, x)))
+    .collect();
+    let mut article_doc = corpus::docbook_article(300);
+    Mutator::new(3).delete_random_markup(&mut article_doc, 60);
+    let article_xml = article_doc.to_xml();
+    let article_expect = expect_outcome(BuiltinDtd::DocbookArticle, &article_xml);
+    for round in 0..6 {
+        let jobs = JOBS[round % JOBS.len()];
+        for (xml, expect) in &fig1_docs {
+            assert_eq!(
+                &client.check(&fig1.handle, xml, jobs, true).unwrap().outcome,
+                expect,
+                "figure1 round={round}"
+            );
+        }
+        assert_eq!(
+            client.check(&article.handle, &article_xml, jobs, true).unwrap().outcome,
+            article_expect,
+            "article round={round}"
+        );
+    }
+    // Loading the same builtin again is idempotent: same handle, warm
+    // cache preserved (hits grow, entries persist).
+    let again = client.load_builtin("figure1").unwrap();
+    assert_eq!(again.handle, fig1.handle);
+    client.shutdown().unwrap();
+    drop(client);
+    server.join();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_round_trip() {
+    let path = std::env::temp_dir().join(format!("pv-service-test-{}.sock", std::process::id()));
+    let server = Server::bind(&Endpoint::Unix(path.clone()), 2).expect("bind unix socket");
+    let mut client = Client::connect_endpoint(server.endpoint()).expect("connect unix");
+    client.ping().unwrap();
+    // A second bind on a LIVE socket must refuse, not hijack it.
+    let clash_kind = Server::bind(&Endpoint::Unix(path.clone()), 1).map(|_| ()).map_err(|e| e.kind());
+    assert_eq!(clash_kind, Err(std::io::ErrorKind::AddrInUse));
+    let dtd = client.load_builtin("figure1").unwrap();
+    let xml = "<r><a><b>x</b><c>y</c> dog<e/></a></r>";
+    let got = client.check(&dtd.handle, xml, 2, true).unwrap();
+    assert_eq!(got.outcome, expect_outcome(BuiltinDtd::Figure1, xml));
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("documents").unwrap().as_u64(), Some(1));
+    assert!(stats.get("workers").unwrap().as_u64().unwrap() >= 1);
+    client.shutdown().unwrap();
+    drop(client);
+    server.join();
+    assert!(!path.exists(), "socket file cleaned up");
+}
+
+#[test]
+fn protocol_errors_leave_the_connection_usable() {
+    let (server, mut client) = start_server();
+    // Unknown handle.
+    let err = client.check("d999", "<r/>", 1, true).unwrap_err();
+    assert!(err.to_string().contains("unknown DTD handle"), "{err}");
+    // Bad builtin name.
+    let err = client.load_builtin("no-such-dtd").unwrap_err();
+    assert!(err.to_string().contains("unknown builtin"), "{err}");
+    // Malformed document.
+    let dtd = client.load_builtin("figure1").unwrap();
+    let err = client.check(&dtd.handle, "<r><unclosed>", 1, true).unwrap_err();
+    assert!(err.to_string().contains("not well-formed"), "{err}");
+    // Bad DTD source.
+    let err = client.load_dtd("r", "<!ELEMENT r (oops").unwrap_err();
+    assert!(err.to_string().contains("DTD error"), "{err}");
+    // The same connection still serves correct answers afterwards.
+    let xml = "<r><a><b>x</b><c>y</c> dog<e/></a></r>";
+    let got = client.check(&dtd.handle, xml, 2, true).unwrap();
+    assert_eq!(got.outcome, expect_outcome(BuiltinDtd::Figure1, xml));
+    client.shutdown().unwrap();
+    drop(client);
+    server.join();
+}
