@@ -3,8 +3,9 @@
 //! See `pvx --help` or the crate docs of `pv-cli` for usage.
 
 use pv_cli::{
-    cmd_check, cmd_check_remote, cmd_classify, cmd_complete, cmd_lint, cmd_validate,
-    render_check_error, resolve_dtd, CheckOpts, Status,
+    cmd_check, cmd_check_remote, cmd_check_stream, cmd_check_stream_remote, cmd_classify,
+    cmd_complete, cmd_lint, cmd_validate, render_check_error, resolve_dtd, CheckOpts,
+    Status,
 };
 use pv_core::depth::DepthPolicy;
 use pv_service::{Client, Endpoint, Server};
@@ -14,7 +15,8 @@ pvx — potential validity of document-centric XML (ICDE 2006)
 
 USAGE:
   pvx check    [--dtd FILE --root NAME | --builtin NAME] [--depth N] [--jobs N]
-               [--no-memo] [--json] [--remote ADDR] DOC.xml...
+               [--no-memo] [--json] [--stream [--chunk-size N]] [--remote ADDR]
+               DOC.xml...
   pvx validate [--dtd FILE --root NAME | --builtin NAME] [--ignore-whitespace] DOC.xml...
   pvx complete [--dtd FILE --root NAME | --builtin NAME] DOC.xml
   pvx classify (--dtd FILE --root NAME | --builtin NAME)
@@ -33,6 +35,14 @@ the diagnosis are identical at any job/memo setting.
 
 --json makes `check` print one machine-readable JSON line per document
 (verdict, first violation, memo/speculation counters) instead of text.
+
+--stream checks without building a tree: the document is pushed through
+the SAX-style event front end in chunks (default 64 KiB, --chunk-size N)
+and validated as it parses, in O(depth) memory, with a verdict and
+counters bit-identical to the tree path. With --remote the chunks
+upload as CHECK_STREAM requests while the server validates them
+(requires --builtin/--dtd: the DTD cannot ride inside the byte stream).
+--jobs/--no-memo do not apply to streaming checks.
 
 `pvx serve` runs the resident validation server: a persistent
 work-stealing pool (parked workers — no per-request thread spawns) and,
@@ -57,6 +67,8 @@ struct Args {
     socket: Option<String>,
     port: Option<u16>,
     ignore_whitespace: bool,
+    stream: bool,
+    chunk_size: Option<usize>,
     docs: Vec<String>,
 }
 
@@ -76,6 +88,8 @@ fn parse_args() -> Result<Args, String> {
         socket: None,
         port: None,
         ignore_whitespace: false,
+        stream: false,
+        chunk_size: None,
         docs: Vec::new(),
     };
     let need_value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -103,6 +117,15 @@ fn parse_args() -> Result<Args, String> {
                 args.port = Some(v.parse().map_err(|_| format!("bad --port {v:?}"))?);
             }
             "--ignore-whitespace" => args.ignore_whitespace = true,
+            "--stream" => args.stream = true,
+            "--chunk-size" => {
+                let v = need_value(&mut argv, "--chunk-size")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --chunk-size {v:?}"))?;
+                if n == 0 {
+                    return Err("--chunk-size must be at least 1".to_owned());
+                }
+                args.chunk_size = Some(n);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -212,6 +235,21 @@ fn main() {
         }
     }
 
+    if args.stream {
+        if args.command != "check" {
+            die("--stream is only supported by `pvx check`");
+        }
+        if args.remote.is_some() && args.builtin.is_none() && args.dtd_file.is_none() {
+            // The tree path can fish the DTD out of the parsed document;
+            // a byte stream has no parsed document to fish it out of
+            // before the upload starts.
+            die("--stream --remote needs --builtin or --dtd (the DTD cannot ride inside the byte stream)");
+        }
+    }
+    if args.chunk_size.is_some() && !args.stream {
+        die("--chunk-size requires --stream");
+    }
+
     let dtd_src = match &args.dtd_file {
         None => None,
         Some(path) => match std::fs::read_to_string(path) {
@@ -276,6 +314,60 @@ fn main() {
                     }
                     *worst = Status::Error;
                 };
+                let opts = CheckOpts {
+                    depth: match args.depth {
+                        Some(d) => DepthPolicy::Bounded(d),
+                        None => DepthPolicy::Auto,
+                    },
+                    jobs: args.jobs.unwrap_or(1),
+                    memo: args.memo,
+                    json: args.json,
+                };
+                // The streaming check path never materializes the tree:
+                // locally the file is read in chunks straight into the
+                // push parser; remotely the bytes upload as CHECK_STREAM
+                // chunks while the server validates them.
+                if args.stream {
+                    let chunk = args.chunk_size.unwrap_or(64 * 1024);
+                    let (report, status) = if let Some(client) = remote.as_mut() {
+                        let handle = fixed_handle
+                            .clone()
+                            .expect("--stream --remote was checked to carry a fixed DTD");
+                        match (handle, std::fs::read_to_string(path)) {
+                            (Err(e), _) => {
+                                (render_check_error(path, &e, opts.json), Status::Error)
+                            }
+                            (_, Err(e)) => {
+                                fail(format!("cannot read: {e}"), &mut worst);
+                                continue;
+                            }
+                            (Ok(handle), Ok(text)) => cmd_check_stream_remote(
+                                client, &handle, path, &text, chunk, &opts,
+                            ),
+                        }
+                    } else {
+                        match std::fs::File::open(path) {
+                            Err(e) => {
+                                fail(format!("cannot read: {e}"), &mut worst);
+                                continue;
+                            }
+                            Ok(mut file) => cmd_check_stream(
+                                dtd_src.as_deref(),
+                                args.root.as_deref(),
+                                args.builtin.as_deref(),
+                                path,
+                                &mut file,
+                                chunk,
+                                &opts,
+                            ),
+                        }
+                    };
+                    print!("{report}");
+                    if status.code() > worst.code() {
+                        worst = status;
+                    }
+                    continue;
+                }
                 let text = match std::fs::read_to_string(path) {
                     Ok(t) => t,
                     Err(e) => {
@@ -289,15 +381,6 @@ fn main() {
                         fail(format!("not well-formed: {e}"), &mut worst);
                         continue;
                     }
-                };
-                let opts = CheckOpts {
-                    depth: match args.depth {
-                        Some(d) => DepthPolicy::Bounded(d),
-                        None => DepthPolicy::Auto,
-                    },
-                    jobs: args.jobs.unwrap_or(1),
-                    memo: args.memo,
-                    json: args.json,
                 };
                 // The remote check path: DTD resolves locally, loads
                 // (idempotently) into the server, the document ships over

@@ -75,6 +75,23 @@ pub fn resolve_dtd(
     builtin: Option<&str>,
     doc: Option<&Document>,
 ) -> Result<DtdContext, String> {
+    if dtd_src.is_none() && builtin.is_none() {
+        let doc = doc.ok_or("no DTD given and no document to read one from")?;
+        return resolve_dtd_doctype(dtd_src, root, builtin, doc.doctype.as_ref());
+    }
+    resolve_dtd_doctype(dtd_src, root, builtin, None)
+}
+
+/// [`resolve_dtd`] from a bare [`pv_xml::Doctype`] instead of a parsed document —
+/// the form the streaming path uses: by the time the push parser emits
+/// the root start tag, the `<!DOCTYPE …>` (internal subset included) has
+/// been seen, but no tree exists.
+pub fn resolve_dtd_doctype(
+    dtd_src: Option<&str>,
+    root: Option<&str>,
+    builtin: Option<&str>,
+    doctype: Option<&pv_xml::Doctype>,
+) -> Result<DtdContext, String> {
     if let Some(name) = builtin {
         let b = BuiltinDtd::ALL
             .iter()
@@ -94,11 +111,8 @@ pub fn resolve_dtd(
             DtdAnalysis::parse(src, root).map_err(|e| format!("DTD error: {e}"))?;
         return Ok(DtdContext { analysis, source: "--dtd".to_owned() });
     }
-    let doc = doc.ok_or("no DTD given and no document to read one from")?;
-    let dt = doc
-        .doctype
-        .as_ref()
-        .ok_or("document has no <!DOCTYPE …> and no --dtd/--builtin was given")?;
+    let dt =
+        doctype.ok_or("document has no <!DOCTYPE …> and no --dtd/--builtin was given")?;
     let subset = dt
         .internal_subset
         .as_deref()
@@ -276,6 +290,122 @@ pub fn cmd_check_remote(
     opts: &CheckOpts,
 ) -> (String, Status) {
     match client.check(handle, xml, opts.jobs, opts.memo) {
+        Err(e) => (render_check_error(name, &e.to_string(), opts.json), Status::Error),
+        Ok(remote) => {
+            let report = CheckReport {
+                outcome: remote.outcome,
+                memo: remote.memo,
+                source: remote.label,
+                class: remote.class,
+                depth: remote.depth,
+            };
+            render_check(name, &report, opts.json)
+        }
+    }
+}
+
+/// `pvx check --stream`: potential validity over the push-parser event
+/// stream, in-process. The document is read from `input` in
+/// `chunk_size`-byte chunks and never materializes — resident state is
+/// the open ancestor spine plus one lexer construct, so arbitrarily
+/// large documents check in O(depth) memory. The verdict, diagnosis and
+/// counters are bit-identical to [`cmd_check`]'s tree path (streaming
+/// never consults the shape memo, so no `memo:` telemetry is shown).
+///
+/// The DTD resolves exactly like the tree path — `--dtd`, `--builtin`,
+/// or the document's own internal subset: by the time the root start
+/// tag is lexed, the `<!DOCTYPE …>` has been fully seen, so the checker
+/// is constructed between the doctype and the first element.
+pub fn cmd_check_stream(
+    dtd_src: Option<&str>,
+    root: Option<&str>,
+    builtin: Option<&str>,
+    name: &str,
+    input: &mut dyn std::io::Read,
+    chunk_size: usize,
+    opts: &CheckOpts,
+) -> (String, Status) {
+    let wf_err = |e: &dyn std::fmt::Display| {
+        (render_check_error(name, &format!("not well-formed: {e}"), opts.json), Status::Error)
+    };
+    let mut parser = pv_xml::PushParser::new();
+    let mut buf = vec![0u8; chunk_size.max(1)];
+    let mut eof = false;
+    // Pump until the root start tag: the first event the parser can emit.
+    let (root_name, root_self_closing) = loop {
+        match parser.next_event() {
+            Err(e) => return wf_err(&e),
+            Ok(Some(pv_xml::Event::Start { name, self_closing, .. })) => {
+                break (name.to_owned(), self_closing);
+            }
+            Ok(Some(_)) => continue, // unreachable: nothing precedes the root
+            Ok(None) if eof => return wf_err(&"missing root element"),
+            Ok(None) => match input.read(&mut buf) {
+                Err(e) => {
+                    return (
+                        render_check_error(name, &format!("cannot read: {e}"), opts.json),
+                        Status::Error,
+                    )
+                }
+                Ok(0) => {
+                    parser.finish();
+                    eof = true;
+                }
+                Ok(n) => parser.push(&buf[..n]),
+            },
+        }
+    };
+    let doctype = parser.doctype().cloned();
+    let ctx = match resolve_dtd_doctype(dtd_src, root, builtin, doctype.as_ref()) {
+        Ok(c) => c,
+        Err(e) => return (render_check_error(name, &e, opts.json), Status::Error),
+    };
+    let checker = PvChecker::with_policy(&ctx.analysis, opts.depth);
+    let mut stream = checker.stream_checker();
+    stream.on_start(&root_name, root_self_closing);
+    loop {
+        match parser.next_event() {
+            Err(e) => return wf_err(&e),
+            Ok(Some(event)) => stream.on_event(&event),
+            Ok(None) if eof => break,
+            Ok(None) => match input.read(&mut buf) {
+                Err(e) => {
+                    return (
+                        render_check_error(name, &format!("cannot read: {e}"), opts.json),
+                        Status::Error,
+                    )
+                }
+                Ok(0) => {
+                    parser.finish();
+                    eof = true;
+                }
+                Ok(n) => parser.push(&buf[..n]),
+            },
+        }
+    }
+    let report = CheckReport {
+        outcome: stream.finalize(),
+        memo: None,
+        source: ctx.source.clone(),
+        class: ctx.analysis.rec.class.to_string(),
+        depth: checker.depth(),
+    };
+    render_check(name, &report, opts.json)
+}
+
+/// `pvx check --stream --remote`: upload the document as `CHECK_STREAM`
+/// chunks to a resident `pvx serve` — the server validates while the
+/// client uploads, holding O(depth) state — and render the
+/// (bit-identical) outcome with the shared renderer.
+pub fn cmd_check_stream_remote(
+    client: &mut pv_service::Client,
+    handle: &str,
+    name: &str,
+    xml: &str,
+    chunk_size: usize,
+    opts: &CheckOpts,
+) -> (String, Status) {
+    match client.check_stream(handle, xml.as_bytes().chunks(chunk_size.max(1))) {
         Err(e) => (render_check_error(name, &e.to_string(), opts.json), Status::Error),
         Ok(remote) => {
             let report = CheckReport {
@@ -528,6 +658,115 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn check_stream_reports_match_the_tree_path() {
+        let ctx = fig1_ctx();
+        let docs = [
+            "<r><a><b>x</b><c>y</c> z<e/></a></r>",
+            "<r><a><b>x</b><e/><c>y</c></a></r>",
+            "<r><zzz/></r>",
+            "<wrong/>",
+        ];
+        for xml in docs {
+            let doc = pv_xml::parse(xml).unwrap();
+            for json in [false, true] {
+                let opts = CheckOpts { json, ..CheckOpts::default() };
+                let (tree_rep, tree_st) = cmd_check(&ctx, "d", &doc, &opts);
+                for chunk in [1usize, 7, xml.len()] {
+                    let mut input = xml.as_bytes();
+                    let (rep, st) = cmd_check_stream(
+                        None,
+                        None,
+                        Some("figure1"),
+                        "d",
+                        &mut input,
+                        chunk,
+                        &opts,
+                    );
+                    // Streaming never consults the memo; everything else —
+                    // verdict, diagnosis, counters — is bit-identical.
+                    assert_eq!(st, tree_st, "chunk={chunk} xml={xml}");
+                    if json {
+                        let a = json::parse(rep.trim_end()).unwrap();
+                        let b = json::parse(tree_rep.trim_end()).unwrap();
+                        assert!(a.get("memo").unwrap().is_null());
+                        for key in ["doc", "verdict", "violation_text", "dtd", "class"] {
+                            assert_eq!(
+                                format!("{:?}", a.get(key)),
+                                format!("{:?}", b.get(key)),
+                                "key={key} chunk={chunk} xml={xml}"
+                            );
+                        }
+                        assert_eq!(
+                            json::read_outcome(a.get("outcome").unwrap()).unwrap(),
+                            json::read_outcome(b.get("outcome").unwrap()).unwrap(),
+                            "chunk={chunk} xml={xml}"
+                        );
+                    } else {
+                        assert_eq!(rep, strip_memo_lines(&tree_rep), "chunk={chunk} xml={xml}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn check_stream_resolves_the_internal_subset() {
+        let xml = "<!DOCTYPE r [<!ELEMENT r (#PCDATA)>]><r>x</r>";
+        let (rep, st) = cmd_check_stream(
+            None,
+            None,
+            None,
+            "d",
+            &mut xml.as_bytes(),
+            3,
+            &CheckOpts::default(),
+        );
+        assert_eq!(st, Status::Ok, "{rep}");
+        assert!(rep.contains("internal subset"), "{rep}");
+        let plain = "<r/>";
+        let (rep, st) = cmd_check_stream(
+            None,
+            None,
+            None,
+            "d",
+            &mut plain.as_bytes(),
+            3,
+            &CheckOpts::default(),
+        );
+        assert_eq!(st, Status::Error);
+        assert!(rep.contains("DOCTYPE"), "{rep}");
+    }
+
+    #[test]
+    fn check_stream_rejects_malformed_and_truncated_input() {
+        let full = "<r><a><b>x</b><c>y</c> z<e/></a></r>";
+        for cut in [1, full.len() / 2, full.len() - 1] {
+            let (rep, st) = cmd_check_stream(
+                None,
+                None,
+                Some("figure1"),
+                "d",
+                &mut &full.as_bytes()[..cut],
+                4,
+                &CheckOpts::default(),
+            );
+            assert_eq!(st, Status::Error, "cut={cut}: {rep}");
+            assert!(rep.contains("not well-formed"), "cut={cut}: {rep}");
+        }
+        let (rep, st) = cmd_check_stream(
+            None,
+            None,
+            Some("figure1"),
+            "d",
+            &mut "<r></q>".as_bytes(),
+            4,
+            &CheckOpts::default(),
+        );
+        assert_eq!(st, Status::Error);
+        assert!(rep.contains("not well-formed"), "{rep}");
     }
 
     #[test]

@@ -329,6 +329,17 @@ impl<'a> PvChecker<'a> {
     /// is ever skipped); a potentially valid document gets no such
     /// shortcut and every node is checked, just as sequentially.
     ///
+    /// The streaming checker ([`PvChecker::stream_checker`]) shares this
+    /// contract from the other direction: where the parallel path pays a
+    /// `fetch_min` race so concurrently-found violations agree on the
+    /// document-order-first one, the streaming path's candidate protocol
+    /// only ever *replaces* its frozen violation with a preorder-earlier
+    /// one, converging on the same node. All three checkers — sequential
+    /// stop-at-first, parallel `fetch_min`, streaming candidate — report
+    /// the identical violation (node, kind, symbol index) and counters;
+    /// `tests/stream_differential.rs` asserts exactly this
+    /// (`early_exit_reports_the_same_violation_everywhere`).
+    ///
     /// `jobs <= 1` delegates to the sequential checker outright, as does
     /// any document below [`PvChecker::PARALLEL_MIN_NODES`] element nodes:
     /// spinning up a parallel region costs on the order of 100 µs, which

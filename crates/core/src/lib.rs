@@ -81,6 +81,7 @@ pub mod engine;
 pub mod incremental;
 pub mod memo;
 pub mod recognizer;
+pub mod stream;
 pub mod suggest;
 pub mod token;
 
@@ -90,4 +91,5 @@ pub use dag::{DagNode, DagNodeKind, DagSet, ElementDag};
 pub use depth::DepthPolicy;
 pub use memo::{MemoStats, ShapeCache};
 pub use recognizer::{EcRecognizer, RecognizerStats};
+pub use stream::{StreamCheck, StreamChecker};
 pub use token::{ChildSym, Tok, TokenError, Tokens};

@@ -166,6 +166,47 @@ impl Client {
             memo,
             xml: xml.to_owned(),
         })?;
+        Self::remote_check(&v)
+    }
+
+    /// Checks one document streamed as raw byte chunks (`CHECK_STREAM`):
+    /// the upload and the server-side validation overlap, the document
+    /// never materializes on the server, and its resident cost is
+    /// O(depth). Chunk boundaries may fall anywhere — mid-tag, mid-UTF-8
+    /// sequence. Empty chunks are skipped (a zero-length block is the
+    /// wire terminator). The outcome is bit-identical to [`Self::check`]
+    /// (`memo` is always `None`: streaming never consults the shape
+    /// cache).
+    pub fn check_stream<'a, I>(&mut self, handle: &str, chunks: I) -> Result<RemoteCheck>
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let req = Request::CheckStream { handle: handle.to_owned() };
+        let w = self.reader.get_mut();
+        proto::write_request(w, &req)?;
+        for chunk in chunks {
+            if chunk.is_empty() {
+                continue;
+            }
+            proto::write_block(w, chunk)?;
+            // Flush per chunk so the server validates while we upload.
+            w.flush()?;
+        }
+        proto::write_stream_end(w)?;
+        w.flush()?;
+        let line = proto::read_line(&mut self.reader)?
+            .ok_or_else(|| ServiceError::Protocol("server closed the connection".into()))?;
+        let v = parse_response(&line).map_err(|m| {
+            if json::parse(&line).is_ok() {
+                ServiceError::Remote(m)
+            } else {
+                ServiceError::Protocol(m)
+            }
+        })?;
+        Self::remote_check(&v)
+    }
+
+    fn remote_check(v: &Json) -> Result<RemoteCheck> {
         let outcome_v = v
             .get("outcome")
             .ok_or_else(|| ServiceError::Protocol("check reply missing outcome".into()))?;

@@ -19,10 +19,22 @@
 //! | `LOAD <root>` | 1 (DTD source) | compile + intern a DTD, reply with its handle (idempotent: same source + root ⇒ same handle, warm cache kept) |
 //! | `BUILTIN <name>` | — | same, for a built-in DTD |
 //! | `CHECK <handle> [jobs=N] [memo=0]` | 1 (XML) | potential-validity check of one document |
+//! | `CHECK_STREAM <handle>` | chunked (see below) | streaming check: raw byte chunks, validated as they arrive |
 //! | `BATCH <handle> <count> [jobs=N]` | `count` (XML each) | check a document batch on the two-level scheduler |
 //! | `STATS` | — | server telemetry (uptime, request/work counters, per-DTD memo) |
 //! | `RESET <handle>` | — | clear the handle's shape cache (benchmarking) |
 //! | `SHUTDOWN` | — | stop accepting connections |
+//!
+//! `CHECK_STREAM` is the one verb whose payload is **not** buffered by
+//! [`read_request`]: after the verb line the client sends a sequence of
+//! non-empty length-prefixed chunks terminated by a zero-length block
+//! (`0\n`). The server feeds each chunk to the streaming checker as it
+//! arrives — the document never materializes on either side, and the
+//! socket's flow control gives per-chunk backpressure. Chunks are raw
+//! bytes, not UTF-8 blocks: a chunk boundary may fall anywhere, including
+//! mid-tag or mid-UTF-8-sequence. If the document turns out malformed or
+//! the handle is unknown, the server still drains every chunk up to the
+//! terminator before answering, so the connection stays in sync.
 //!
 //! Every response is exactly one line of JSON (strings escape `\n`, so a
 //! line is always a full document): `{"ok":true,…}` on success,
@@ -69,6 +81,14 @@ pub enum Request {
         memo: bool,
         /// The document text.
         xml: String,
+    },
+    /// Check one document streamed as raw byte chunks. The chunks are
+    /// **not** part of the parsed request: they follow on the wire and
+    /// are consumed incrementally by the server's stream handler (see
+    /// [`read_chunk`]).
+    CheckStream {
+        /// Handle from a previous `LOAD`/`BUILTIN`.
+        handle: String,
     },
     /// Check a batch of documents.
     Batch {
@@ -147,6 +167,36 @@ pub fn read_block(r: &mut impl BufRead) -> Result<String, String> {
     String::from_utf8(buf).map_err(|_| "payload is not UTF-8".into())
 }
 
+/// Reads one raw chunk of a `CHECK_STREAM` body: `Ok(Some(bytes))` for a
+/// data chunk, `Ok(None)` for the zero-length terminator. Unlike
+/// [`read_block`], chunks are raw bytes — a boundary may split a UTF-8
+/// sequence (the streaming lexer reassembles it).
+pub fn read_chunk(r: &mut impl BufRead) -> Result<Option<Vec<u8>>, String> {
+    let line = match read_line(r) {
+        Ok(Some(l)) => l,
+        Ok(None) => return Err("eof before chunk length".into()),
+        Err(e) => return Err(e.to_string()),
+    };
+    let len: usize = line.trim().parse().map_err(|_| format!("bad chunk length {line:?}"))?;
+    if len == 0 {
+        return Ok(None);
+    }
+    if len > MAX_PAYLOAD {
+        return Err(format!("chunk of {len} bytes exceeds the {MAX_PAYLOAD}-byte limit"));
+    }
+    let mut buf = Vec::new();
+    match r.take(len as u64).read_to_end(&mut buf) {
+        Ok(n) if n == len => Ok(Some(buf)),
+        Ok(n) => Err(format!("short chunk: got {n} of {len} bytes")),
+        Err(e) => Err(format!("short chunk: {e}")),
+    }
+}
+
+/// Writes the zero-length block ending a `CHECK_STREAM` chunk sequence.
+pub fn write_stream_end(w: &mut impl Write) -> io::Result<()> {
+    writeln!(w, "0")
+}
+
 fn parse_kv(args: &[&str], key: &str) -> Result<Option<u64>, String> {
     for a in args {
         if let Some(v) = a.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')) {
@@ -215,6 +265,10 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Frame> {
                 Err(e) => bad(e),
             }
         }
+        "CHECK_STREAM" => match args {
+            [handle] => Ok(Frame::Req(Request::CheckStream { handle: (*handle).to_owned() })),
+            _ => bad("CHECK_STREAM takes exactly one handle".into()),
+        },
         "BATCH" => {
             let (&handle, rest) = match args.split_first() {
                 Some(x) => x,
@@ -273,6 +327,9 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
             writeln!(w, "CHECK {handle} jobs={jobs} memo={}", u8::from(*memo))?;
             write_block(w, xml.as_bytes())
         }
+        // Chunks follow separately (write_block per chunk, then
+        // write_stream_end) — see Client::check_stream.
+        Request::CheckStream { handle } => writeln!(w, "CHECK_STREAM {handle}"),
         Request::Batch { handle, jobs, xmls } => {
             writeln!(w, "BATCH {handle} {} jobs={jobs}", xmls.len())?;
             for xml in xmls {
@@ -317,6 +374,25 @@ mod tests {
             jobs: 0,
             xmls: vec!["<r/>".into(), "<r>two</r>".into()],
         });
+        round_trip(Request::CheckStream { handle: "d2".into() });
+    }
+
+    #[test]
+    fn chunk_sequences_round_trip() {
+        let mut wire = Vec::new();
+        write_block(&mut wire, b"<r><a>").unwrap();
+        write_block(&mut wire, &[0xE2]).unwrap(); // raw bytes: split UTF-8 is legal
+        write_stream_end(&mut wire).unwrap();
+        let mut r = BufReader::new(wire.as_slice());
+        assert_eq!(read_chunk(&mut r).unwrap().as_deref(), Some(b"<r><a>".as_slice()));
+        assert_eq!(read_chunk(&mut r).unwrap().as_deref(), Some([0xE2].as_slice()));
+        assert_eq!(read_chunk(&mut r).unwrap(), None);
+        // Truncated chunk and oversized chunk are framing errors.
+        let mut r = BufReader::new("12\nshort".as_bytes());
+        assert!(read_chunk(&mut r).is_err());
+        let wire = format!("{}\n", MAX_PAYLOAD + 1);
+        let mut r = BufReader::new(wire.as_bytes());
+        assert!(read_chunk(&mut r).is_err());
     }
 
     #[test]

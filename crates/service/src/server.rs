@@ -376,6 +376,20 @@ fn serve_connection(stream: Stream, state: &Arc<ServiceState>) -> io::Result<()>
                 let _ = respond(reader.get_mut(), err_response(&msg));
                 return Ok(());
             }
+            Frame::Req(Request::CheckStream { handle }) => {
+                // The chunks are still on the wire: consume them here,
+                // feeding the streaming checker as they arrive, so the
+                // client's upload and the server's validation overlap.
+                match handle_check_stream(&mut reader, &handle, state)? {
+                    StreamBody::Done(body) => respond(reader.get_mut(), body)?,
+                    StreamBody::Abort(msg) => {
+                        // A chunk framing error poisons the boundary,
+                        // exactly like a bad verb line: report and close.
+                        let _ = respond(reader.get_mut(), err_response(&msg));
+                        return Ok(());
+                    }
+                }
+            }
             Frame::Req(req) => {
                 let shutdown = matches!(req, Request::Shutdown);
                 let body = handle_request(req, state);
@@ -389,6 +403,72 @@ fn serve_connection(stream: Stream, state: &Arc<ServiceState>) -> io::Result<()>
             }
         }
     }
+}
+
+/// How a `CHECK_STREAM` body ended.
+enum StreamBody {
+    /// All chunks consumed cleanly; respond and keep the connection.
+    Done(String),
+    /// Chunk framing broke; respond and close the connection.
+    Abort(String),
+}
+
+/// Consumes a `CHECK_STREAM` chunk sequence, validating incrementally.
+///
+/// The streaming checker holds only the open ancestor spine (O(depth)),
+/// so a multi-gigabyte upload costs the server a few kilobytes of
+/// resident state. Application errors — unknown handle, malformed
+/// document — still drain every remaining chunk up to the terminator
+/// before responding, so the connection stays usable; only transport
+/// errors (`Err`) and framing errors (`Abort`) end it.
+fn handle_check_stream(
+    reader: &mut BufReader<Stream>,
+    handle: &str,
+    state: &Arc<ServiceState>,
+) -> io::Result<StreamBody> {
+    let entry = state.entry(handle);
+    let checker = entry.as_ref().ok().map(|e| e.engine.checker());
+    let mut stream = checker.as_ref().map(|c| pv_core::stream::StreamCheck::new(c.stream_checker()));
+    let mut parse_err: Option<pv_xml::XmlError> = None;
+    let mut total = 0usize;
+    loop {
+        match proto::read_chunk(reader) {
+            Err(msg) => return Ok(StreamBody::Abort(msg)),
+            Ok(None) => break,
+            Ok(Some(chunk)) => {
+                total += chunk.len();
+                if total > proto::MAX_REQUEST_BYTES {
+                    return Ok(StreamBody::Abort(format!(
+                        "stream exceeds the {}-byte aggregate limit",
+                        proto::MAX_REQUEST_BYTES
+                    )));
+                }
+                if parse_err.is_none() {
+                    if let Some(s) = stream.as_mut() {
+                        if let Err(e) = s.feed(&chunk) {
+                            // Keep draining (the framing is intact), but
+                            // stop feeding: the error is final.
+                            parse_err = Some(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let body = match (&entry, parse_err) {
+        (Err(e), _) => err_response(e),
+        (Ok(_), Some(e)) => err_response(&format!("document is not well-formed: {e}")),
+        (Ok(entry), None) => match stream.take().expect("stream built for live entry").finish() {
+            Err(e) => err_response(&format!("document is not well-formed: {e}")),
+            Ok(outcome) => {
+                state.record(1, &outcome.stats);
+                // Streaming never touches the shape memo, so the reply's
+                // memo field is always null (same JSON shape as CHECK).
+                check_response(&outcome, entry, false)
+            }
+        },
+    };
+    Ok(StreamBody::Done(body))
 }
 
 fn handle_request(req: Request, state: &Arc<ServiceState>) -> String {
@@ -486,6 +566,11 @@ fn handle_request(req: Request, state: &Arc<ServiceState>) -> String {
             },
             Err(e) => err_response(&e),
         },
+        // Intercepted by serve_connection (its chunks live on the wire,
+        // interleaved with validation); it can never reach this point.
+        Request::CheckStream { .. } => {
+            err_response("CHECK_STREAM is handled by the connection loop")
+        }
         Request::Batch { handle, jobs, xmls } => match state.entry(&handle) {
             Ok(entry) => {
                 let mut docs = Vec::with_capacity(xmls.len());

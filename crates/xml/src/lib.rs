@@ -29,10 +29,12 @@ pub mod error;
 pub mod escape;
 pub mod parser;
 pub mod serialize;
+pub mod stream;
 pub mod tree;
 
 pub use error::{XmlError, XmlErrorKind};
 pub use parser::{parse, parse_fragment, ParseOptions};
+pub use stream::{Event, PushParser};
 pub use tree::{Attribute, ChildToken, Document, Doctype, Node, NodeId, NodeKind};
 
 /// Result alias used across the crate.

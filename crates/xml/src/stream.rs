@@ -1,0 +1,1062 @@
+//! Streaming (push/SAX-style) front end: a resumable event lexer.
+//!
+//! [`PushParser`] accepts the document as byte chunks ([`PushParser::push`])
+//! and emits [`Event`]s ([`PushParser::next_event`]) as soon as they are
+//! complete, holding only the open-element name stack plus the bytes of the
+//! one construct currently in flight. A chunk boundary may fall anywhere —
+//! mid-tag, mid-name, inside an attribute value, between the bytes of a
+//! UTF-8 sequence — and the lexer simply reports "need more input" until the
+//! construct completes.
+//!
+//! ## Equivalence with the tree parser
+//!
+//! The event stream is the exact trace of [`crate::parse`]: same accepted
+//! language, same error kinds at the same byte offsets, and one event chain
+//! per node the tree parser would allocate, in allocation order (element
+//! starts, one text chain per maximal character-data run, one per CDATA
+//! section, comments and PIs inside the root). Prolog and trailing misc are
+//! consumed but produce no events, exactly as the tree parser produces no
+//! nodes for them. `tests/stream_torture.rs` holds this equivalence over
+//! random documents, all chunkings, and all truncations.
+//!
+//! ## Memory
+//!
+//! Residency is `O(depth + largest single markup construct + chunk)`:
+//! character data streams out in pieces (it never accumulates), while tags,
+//! comments, CDATA sections, references and the doctype are buffered only
+//! until their terminating delimiter arrives. (An unterminated reference or
+//! giant comment therefore buffers until its delimiter — the tree parser
+//! scans the rest of the input for the same delimiter, and matching its
+//! verdict exactly requires waiting just as long.) Constructs interrupted
+//! by a chunk boundary re-parse from their first byte when more input
+//! arrives, so pathological 1-byte feeding costs O(construct²) time per
+//! construct but never changes the result. Truncated input surfaces as a
+//! clean [`XmlErrorKind::UnexpectedEof`]-family error from
+//! [`PushParser::next_event`] after [`PushParser::finish`] — never as a
+//! wrong event stream.
+
+use crate::error::{XmlError, XmlErrorKind};
+use crate::escape::{is_name_char, is_name_start, resolve_reference, validate_name};
+use crate::parser::ParseOptions;
+use crate::tree::{Attribute, Doctype};
+use crate::Result;
+use std::ops::Range;
+
+/// One SAX-style event. Borrows from the parser's internal buffers; the
+/// borrow ends at the next [`PushParser`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<'a> {
+    /// A start tag (or an empty-element tag when `self_closing`; no
+    /// matching [`Event::End`] is emitted for those).
+    Start {
+        /// Element name.
+        name: &'a str,
+        /// Parsed attributes, references resolved.
+        attrs: &'a [Attribute],
+        /// `true` for `<x/>` — open and close in one event.
+        self_closing: bool,
+    },
+    /// An end tag (already verified to match the open element).
+    End {
+        /// Element name.
+        name: &'a str,
+    },
+    /// A piece of character data. One maximal run (or one CDATA section)
+    /// corresponds to one text *node* of the tree parser and arrives as one
+    /// or more pieces; `first` marks the piece that begins the node.
+    Text {
+        /// Resolved character data (empty only for an empty CDATA section,
+        /// which the tree parser stores as an empty text node).
+        piece: &'a str,
+        /// `true` iff this piece starts a new text node.
+        first: bool,
+    },
+    /// A comment inside the root element (prolog/trailing comments are
+    /// consumed silently, as the tree parser drops them).
+    Comment {
+        /// Comment body.
+        text: &'a str,
+    },
+    /// A processing instruction inside the root element.
+    Pi {
+        /// PI target.
+        target: &'a str,
+        /// PI data (leading whitespace trimmed, as in the tree parser).
+        data: &'a str,
+    },
+}
+
+/// Where the state machine stands between events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// At absolute offset 0: an XML declaration may start here.
+    Decl,
+    /// Prolog misc + doctype, before the root element.
+    Prolog,
+    /// Inside the document: expecting markup or character data.
+    Content,
+    /// Mid character-data run.
+    CharData,
+    /// After the root element closed: trailing misc only.
+    Epilog,
+    /// Document complete.
+    Done,
+}
+
+/// Internal control flow: a step either needs more input or fails.
+enum Halt {
+    /// The current construct extends past the buffered input.
+    More,
+    /// A well-formedness error (final).
+    Fail(XmlError),
+}
+
+type Step<T> = std::result::Result<T, Halt>;
+
+/// An event with borrow-free payload locations, produced by the state
+/// machine and converted to a borrowing [`Event`] by [`PushParser`].
+enum Raw {
+    Start { name: Range<usize>, self_closing: bool },
+    End,
+    TextScratch { first: bool },
+    TextBuf { piece: Range<usize>, first: bool },
+    Comment { text: Range<usize> },
+    Pi { target: Range<usize>, data: Range<usize> },
+}
+
+/// A resumable push parser: feed byte chunks, pull events. See the
+/// [module docs](self).
+pub struct PushParser {
+    /// Buffered, validated input not yet consumed. `base` is the absolute
+    /// offset of `buf[0]` in the original byte stream.
+    buf: String,
+    base: usize,
+    /// Committed cursor into `buf`: everything before it belongs to fully
+    /// parsed constructs. An attempt that runs out of input restarts here.
+    pos: usize,
+    /// Up to 3 bytes of a UTF-8 sequence split by a chunk boundary.
+    utf8_tail: Vec<u8>,
+    eof: bool,
+    mode: Mode,
+    options: ParseOptions,
+    /// Open element names — the only per-depth state the lexer holds.
+    stack: Vec<String>,
+    root_seen: bool,
+    doctype: Option<Doctype>,
+    failed: Option<XmlError>,
+    /// Scratch for the text piece being assembled (references resolved).
+    text: String,
+    text_emitted: bool,
+    /// `true` once the current character-data run has emitted a piece.
+    run_started: bool,
+    /// Scratch for the attribute list of the current start tag.
+    attrs: Vec<Attribute>,
+    /// Scratch holding a popped end-tag name for the borrow in [`Event::End`].
+    name_scratch: String,
+    peak_buffered: usize,
+}
+
+impl Default for PushParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PushParser {
+    /// A fresh parser with default [`ParseOptions`].
+    pub fn new() -> Self {
+        Self::with_options(ParseOptions::default())
+    }
+
+    /// A fresh parser with explicit options (comment/PI events can be
+    /// suppressed, mirroring the tree parser's node filtering).
+    pub fn with_options(options: ParseOptions) -> Self {
+        PushParser {
+            buf: String::new(),
+            base: 0,
+            pos: 0,
+            utf8_tail: Vec::new(),
+            eof: false,
+            mode: Mode::Decl,
+            options,
+            stack: Vec::new(),
+            root_seen: false,
+            doctype: None,
+            failed: None,
+            text: String::new(),
+            text_emitted: false,
+            run_started: false,
+            attrs: Vec::new(),
+            name_scratch: String::new(),
+            peak_buffered: 0,
+        }
+    }
+
+    /// Appends a chunk of input. Invalid UTF-8 is reported by the next
+    /// [`PushParser::next_event`] call (chunk boundaries may split a
+    /// multi-byte sequence; only genuinely malformed bytes fail).
+    pub fn push(&mut self, chunk: &[u8]) {
+        debug_assert!(!self.eof, "push after finish");
+        if self.failed.is_some() {
+            return;
+        }
+        let mut bytes = std::mem::take(&mut self.utf8_tail);
+        bytes.extend_from_slice(chunk);
+        match std::str::from_utf8(&bytes) {
+            Ok(s) => self.buf.push_str(s),
+            Err(e) => {
+                let valid = e.valid_up_to();
+                // from_utf8 already proved this prefix valid.
+                self.buf.push_str(std::str::from_utf8(&bytes[..valid]).unwrap());
+                if e.error_len().is_some() {
+                    self.failed = Some(XmlError::new(
+                        XmlErrorKind::Unexpected("invalid UTF-8".to_owned()),
+                        self.base + self.buf.len(),
+                    ));
+                } else {
+                    self.utf8_tail = bytes[valid..].to_vec();
+                }
+            }
+        }
+        self.peak_buffered = self.peak_buffered.max(self.buf.len() - self.pos);
+    }
+
+    /// Signals end of input. Subsequent [`PushParser::next_event`] calls
+    /// drain the remaining events and then report completion (or the
+    /// truncation error).
+    pub fn finish(&mut self) {
+        self.eof = true;
+        if !self.utf8_tail.is_empty() && self.failed.is_none() {
+            // The stream ended between the bytes of one character.
+            self.failed = Some(XmlError::new(
+                XmlErrorKind::UnexpectedEof,
+                self.base + self.buf.len(),
+            ));
+        }
+    }
+
+    /// `true` once the whole document (including trailing misc) has been
+    /// accepted. Only meaningful after [`PushParser::finish`].
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.mode == Mode::Done
+    }
+
+    /// The captured `<!DOCTYPE>` (available once the prolog has been
+    /// consumed — at the latest when the first event arrives).
+    #[inline]
+    pub fn doctype(&self) -> Option<&Doctype> {
+        self.doctype.as_ref()
+    }
+
+    /// High-water mark of buffered-but-unconsumed bytes: the lexer's
+    /// residency over the whole parse, excluding the open-name stack.
+    #[inline]
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// Current open-element depth.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Pulls the next complete event.
+    ///
+    /// * `Ok(Some(event))` — one event; the borrow ends at the next call.
+    /// * `Ok(None)` before [`PushParser::finish`] — the next construct is
+    ///   incomplete; push more input.
+    /// * `Ok(None)` after `finish` — the document parsed to completion
+    ///   ([`PushParser::is_complete`] is `true`).
+    /// * `Err(e)` — well-formedness error, exactly the error the tree
+    ///   parser reports for the same input. The error is sticky.
+    pub fn next_event(&mut self) -> Result<Option<Event<'_>>> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        // Drop consumed input; absolute offsets survive via `base`.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.base += self.pos;
+            self.pos = 0;
+        }
+        if self.text_emitted {
+            self.text.clear();
+            self.text_emitted = false;
+        }
+        let mut m = Machine {
+            s: &self.buf,
+            eof: self.eof,
+            keep_comments: self.options.keep_comments,
+            keep_pis: self.options.keep_pis,
+            base: self.base,
+            p: self.pos,
+            pos: &mut self.pos,
+            mode: &mut self.mode,
+            stack: &mut self.stack,
+            root_seen: &mut self.root_seen,
+            doctype: &mut self.doctype,
+            text: &mut self.text,
+            run_started: &mut self.run_started,
+            attrs: &mut self.attrs,
+            name_scratch: &mut self.name_scratch,
+        };
+        let raw = match m.run() {
+            Ok(raw) => raw,
+            Err(Halt::More) => {
+                debug_assert!(!self.eof, "More at eof is unreachable");
+                return Ok(None);
+            }
+            Err(Halt::Fail(e)) => {
+                self.failed = Some(e.clone());
+                return Err(e);
+            }
+        };
+        self.peak_buffered = self.peak_buffered.max(self.buf.len() - self.pos);
+        Ok(raw.map(|raw| match raw {
+            Raw::Start { name, self_closing } => Event::Start {
+                name: &self.buf[name],
+                attrs: &self.attrs,
+                self_closing,
+            },
+            Raw::End => Event::End { name: &self.name_scratch },
+            Raw::TextScratch { first } => {
+                self.text_emitted = true;
+                Event::Text { piece: &self.text, first }
+            }
+            Raw::TextBuf { piece, first } => Event::Text { piece: &self.buf[piece], first },
+            Raw::Comment { text } => Event::Comment { text: &self.buf[text] },
+            Raw::Pi { target, data } => {
+                Event::Pi { target: &self.buf[target], data: &self.buf[data] }
+            }
+        }))
+    }
+}
+
+/// The borrow-split working state of one [`PushParser::next_event`] call:
+/// an immutable view of the buffered input plus mutable references to the
+/// parser state, with a local uncommitted cursor `p`.
+struct Machine<'m> {
+    s: &'m str,
+    eof: bool,
+    keep_comments: bool,
+    keep_pis: bool,
+    base: usize,
+    /// Working cursor (uncommitted).
+    p: usize,
+    /// Committed cursor: restart point after [`Halt::More`].
+    pos: &'m mut usize,
+    mode: &'m mut Mode,
+    stack: &'m mut Vec<String>,
+    root_seen: &'m mut bool,
+    doctype: &'m mut Option<Doctype>,
+    text: &'m mut String,
+    run_started: &'m mut bool,
+    attrs: &'m mut Vec<Attribute>,
+    name_scratch: &'m mut String,
+}
+
+impl Machine<'_> {
+    // ---- cursor helpers ---------------------------------------------------
+
+    #[inline]
+    fn abs(&self) -> usize {
+        self.base + self.p
+    }
+
+    #[inline]
+    fn commit(&mut self) {
+        *self.pos = self.p;
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.s.as_bytes().get(self.p).copied()
+    }
+
+    /// Like `peek`, but `None` only at true end of input; running out of
+    /// *buffered* input asks for more.
+    #[inline]
+    fn peek_or(&self) -> Step<Option<u8>> {
+        match self.peek() {
+            Some(b) => Ok(Some(b)),
+            None if self.eof => Ok(None),
+            None => Err(Halt::More),
+        }
+    }
+
+    /// Three-valued `starts_with`: undecidable prefixes ask for more input
+    /// (at eof they resolve to a plain mismatch, as the tree parser sees).
+    fn lit(&self, t: &str) -> Step<bool> {
+        let rest = &self.s.as_bytes()[self.p..];
+        if rest.len() >= t.len() {
+            return Ok(rest.starts_with(t.as_bytes()));
+        }
+        if !self.eof && t.as_bytes().starts_with(rest) {
+            Err(Halt::More)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn expect_lit(&mut self, t: &str) -> Step<()> {
+        if self.lit(t)? {
+            self.p += t.len();
+            Ok(())
+        } else {
+            Err(self.err_unexpected(&format!("input (expected {t:?})")))
+        }
+    }
+
+    fn err_unexpected(&self, what: &str) -> Halt {
+        Halt::Fail(XmlError::new(XmlErrorKind::Unexpected(what.to_owned()), self.abs()))
+    }
+
+    fn err_eof(&self) -> Halt {
+        Halt::Fail(XmlError::new(XmlErrorKind::UnexpectedEof, self.abs()))
+    }
+
+    fn fail(&self, kind: XmlErrorKind, at: usize) -> Halt {
+        Halt::Fail(XmlError::new(kind, at))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.p += 1;
+        }
+    }
+
+    /// Finds `needle` from the cursor, returning its offset relative to the
+    /// cursor. Not-found means "more input" until eof, then the tree
+    /// parser's `UnexpectedEof` at the cursor.
+    fn find(&self, needle: &str) -> Step<usize> {
+        match self.s[self.p..].find(needle) {
+            Some(i) => Ok(i),
+            None if self.eof => Err(self.err_eof()),
+            None => Err(Halt::More),
+        }
+    }
+
+    /// Consumes an XML name, returning its byte range in the buffer.
+    fn name(&mut self) -> Step<Range<usize>> {
+        let start = self.p;
+        let rest = &self.s[self.p..];
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            Some((_, c)) if is_name_start(c) => {}
+            _ => {
+                // The tree parser's InvalidName message carries the next
+                // (up to) 8 characters; wait for them (or eof) so the error
+                // is byte-identical.
+                if !self.eof && rest.chars().take(8).count() < 8 {
+                    return Err(Halt::More);
+                }
+                return Err(self.fail(
+                    XmlErrorKind::InvalidName(rest.chars().take(8).collect()),
+                    self.abs(),
+                ));
+            }
+        }
+        for (i, c) in chars {
+            if !is_name_char(c) {
+                self.p = start + i;
+                return Ok(start..self.p);
+            }
+        }
+        // The name runs to the end of buffered input: complete only at eof.
+        if self.eof {
+            self.p = self.s.len();
+            Ok(start..self.p)
+        } else {
+            Err(Halt::More)
+        }
+    }
+
+    /// Resolves a `&…;` reference at the cursor (which sits on the `&`),
+    /// mirroring the tree parser's scan-to-semicolon semantics.
+    fn reference(&mut self) -> Step<char> {
+        let amp = self.abs();
+        self.p += 1; // past '&'
+        let semi = match self.s[self.p..].find(';') {
+            Some(i) => i,
+            // The tree parser scans the rest of the whole input for ';'
+            // before giving up, so we must wait just as long.
+            None if self.eof => return Err(self.err_eof()),
+            None => return Err(Halt::More),
+        };
+        let body = &self.s[self.p..self.p + semi];
+        let ch = resolve_reference(body, amp).map_err(Halt::Fail)?;
+        self.p += semi + 1;
+        Ok(ch)
+    }
+
+    // ---- the machine ------------------------------------------------------
+
+    /// Runs until one event is complete, the document ends, input runs dry,
+    /// or a well-formedness error surfaces.
+    fn run(&mut self) -> Step<Option<Raw>> {
+        loop {
+            match *self.mode {
+                Mode::Decl => self.decl()?,
+                Mode::Prolog => self.prolog()?,
+                Mode::Content => {
+                    if let Some(raw) = self.content()? {
+                        return Ok(Some(raw));
+                    }
+                }
+                Mode::CharData => {
+                    if let Some(raw) = self.char_data()? {
+                        return Ok(Some(raw));
+                    }
+                }
+                Mode::Epilog => self.epilog()?,
+                Mode::Done => return Ok(None),
+            }
+        }
+    }
+
+    /// Optional XML declaration — recognized only as the very first bytes,
+    /// by the exact `<?xml` prefix the tree parser tests.
+    fn decl(&mut self) -> Step<()> {
+        debug_assert_eq!(self.abs(), 0);
+        if self.lit("<?xml")? {
+            let close = self.find("?>")?;
+            self.p += close + 2;
+            self.commit();
+        }
+        *self.mode = Mode::Prolog;
+        Ok(())
+    }
+
+    /// Prolog misc + doctype; produces no events (the tree parser keeps no
+    /// nodes for these).
+    fn prolog(&mut self) -> Step<()> {
+        loop {
+            self.skip_ws();
+            self.commit();
+            if self.lit("<!--")? {
+                self.comment_body()?;
+                self.commit();
+            } else if self.lit("<!DOCTYPE")? {
+                if self.doctype.is_some() {
+                    return Err(self.err_unexpected("second <!DOCTYPE"));
+                }
+                let dt = self.doctype_decl()?;
+                *self.doctype = Some(dt);
+                self.commit();
+            } else if self.lit("<?")? {
+                self.pi_body()?;
+                self.commit();
+            } else {
+                break;
+            }
+        }
+        self.skip_ws();
+        self.commit();
+        match self.peek_or()? {
+            Some(b'<') => {
+                *self.mode = Mode::Content;
+                Ok(())
+            }
+            Some(_) => Err(self.err_unexpected("character data before the root element")),
+            None => Err(self.fail(XmlErrorKind::NoRootElement, self.abs())),
+        }
+    }
+
+    /// One content construct: markup dispatch exactly in the tree parser's
+    /// order. Returns `None` when the construct produced no event (dropped
+    /// comment/PI, or a mode switch).
+    fn content(&mut self) -> Step<Option<Raw>> {
+        match self.peek_or()? {
+            None => {
+                return Err(if let Some(open) = self.stack.last() {
+                    self.fail(XmlErrorKind::UnclosedTag(open.clone()), self.abs())
+                } else {
+                    self.fail(XmlErrorKind::NoRootElement, self.abs())
+                });
+            }
+            Some(b'<') => {}
+            Some(_) => {
+                if self.stack.is_empty() {
+                    return Err(self.err_unexpected("character data outside the root"));
+                }
+                *self.mode = Mode::CharData;
+                *self.run_started = false;
+                self.text.clear();
+                return Ok(None);
+            }
+        }
+        if self.lit("</")? {
+            self.p += 2;
+            let close_pos = self.abs();
+            let name = self.name()?;
+            self.skip_ws();
+            self.expect_lit(">")?;
+            let Some(open) = self.stack.pop() else {
+                return Err(
+                    self.fail(XmlErrorKind::UnopenedTag(self.s[name].to_owned()), close_pos)
+                );
+            };
+            if open != self.s[name.clone()] {
+                let close = self.s[name].to_owned();
+                return Err(self.fail(XmlErrorKind::MismatchedTag { open, close }, close_pos));
+            }
+            self.commit();
+            *self.name_scratch = open;
+            if self.stack.is_empty() {
+                *self.mode = Mode::Epilog;
+            }
+            Ok(Some(Raw::End))
+        } else if self.lit("<!--")? {
+            let text = self.comment_body()?;
+            self.commit();
+            if !self.keep_comments {
+                return Ok(None);
+            }
+            if self.stack.is_empty() {
+                // The tree parser treats this as unreachable (the prolog
+                // consumes pre-root comments); keep it an error, not a panic.
+                return Err(self.err_unexpected("comment outside root"));
+            }
+            Ok(Some(Raw::Comment { text }))
+        } else if self.lit("<![CDATA[")? {
+            self.p += "<![CDATA[".len();
+            let end = self.find("]]>")?;
+            let piece = self.p..self.p + end;
+            self.p += end + 3;
+            if self.stack.is_empty() {
+                return Err(self.err_unexpected("CDATA outside root"));
+            }
+            self.commit();
+            Ok(Some(Raw::TextBuf { piece, first: true }))
+        } else if self.lit("<?")? {
+            let (target, data) = self.pi_body()?;
+            self.commit();
+            if self.keep_pis && !self.stack.is_empty() {
+                Ok(Some(Raw::Pi { target, data }))
+            } else {
+                Ok(None)
+            }
+        } else if self.lit("<!")? {
+            Err(self.err_unexpected("markup declaration inside content"))
+        } else {
+            // Start tag.
+            self.p += 1;
+            let name_pos = self.abs();
+            let name = self.name()?;
+            validate_name(&self.s[name.clone()], name_pos).map_err(Halt::Fail)?;
+            self.attributes()?;
+            let self_closing = if self.lit("/>")? {
+                self.p += 2;
+                true
+            } else {
+                self.expect_lit(">")?;
+                false
+            };
+            if self.stack.is_empty() {
+                if *self.root_seen {
+                    return Err(self.fail(XmlErrorKind::TrailingContent, name_pos));
+                }
+                *self.root_seen = true;
+            }
+            self.commit();
+            if !self_closing {
+                self.stack.push(self.s[name.clone()].to_owned());
+            } else if self.stack.is_empty() {
+                *self.mode = Mode::Epilog;
+            }
+            Ok(Some(Raw::Start { name, self_closing }))
+        }
+    }
+
+    /// Advances a character-data run, committing resolved progress into the
+    /// text scratch so a multi-chunk run never re-parses (and never
+    /// accumulates more than one piece).
+    fn char_data(&mut self) -> Step<Option<Raw>> {
+        loop {
+            match self.peek() {
+                Some(b'<') => {
+                    *self.mode = Mode::Content;
+                    self.commit();
+                    return Ok(self.flush_piece());
+                }
+                Some(b'&') => match self.reference() {
+                    Ok(ch) => {
+                        self.text.push(ch);
+                        self.commit();
+                    }
+                    Err(Halt::More) => {
+                        // Hold at the '&'; ship what we have so far.
+                        self.p = *self.pos;
+                        return match self.flush_piece() {
+                            Some(raw) => Ok(Some(raw)),
+                            None => Err(Halt::More),
+                        };
+                    }
+                    Err(fail) => return Err(fail),
+                },
+                Some(_) => {
+                    let rest = &self.s[self.p..];
+                    let stop = rest.find(['<', '&']).unwrap_or(rest.len());
+                    self.text.push_str(&rest[..stop]);
+                    self.p += stop;
+                    self.commit();
+                }
+                None if !self.eof => {
+                    return match self.flush_piece() {
+                        Some(raw) => Ok(Some(raw)),
+                        None => Err(Halt::More),
+                    };
+                }
+                None => {
+                    // True end of input mid-run: emit the tail piece (the
+                    // tree parser appends the text node before noticing the
+                    // unclosed tag), then let Content report the error.
+                    *self.mode = Mode::Content;
+                    return Ok(self.flush_piece());
+                }
+            }
+        }
+    }
+
+    /// Emits the pending text piece if it is non-empty.
+    fn flush_piece(&mut self) -> Option<Raw> {
+        if self.text.is_empty() {
+            return None;
+        }
+        let first = !*self.run_started;
+        *self.run_started = true;
+        Some(Raw::TextScratch { first })
+    }
+
+    /// Trailing misc after the root element.
+    fn epilog(&mut self) -> Step<()> {
+        loop {
+            self.skip_ws();
+            self.commit();
+            if self.peek_or()?.is_none() {
+                *self.mode = Mode::Done;
+                return Ok(());
+            }
+            if self.lit("<!--")? {
+                self.comment_body()?;
+                self.commit();
+            } else if self.lit("<?")? {
+                self.pi_body()?;
+                self.commit();
+            } else {
+                return Err(self.fail(XmlErrorKind::TrailingContent, self.abs()));
+            }
+        }
+    }
+
+    /// The attribute list of a start tag, filling the attribute scratch.
+    fn attributes(&mut self) -> Step<()> {
+        self.attrs.clear();
+        loop {
+            let before = self.p;
+            self.skip_ws();
+            match self.peek_or()? {
+                None => return Err(self.err_eof()),
+                Some(b'>') => break,
+                Some(b'/') if self.lit("/>")? => break,
+                Some(_) => {
+                    if self.p == before {
+                        return Err(self.err_unexpected("attribute (missing whitespace?)"));
+                    }
+                    let name_pos = self.abs();
+                    let name = self.name()?;
+                    let name = self.s[name].to_owned();
+                    if self.attrs.iter().any(|a| *a.name == name) {
+                        return Err(
+                            self.fail(XmlErrorKind::DuplicateAttribute(name), name_pos)
+                        );
+                    }
+                    self.skip_ws();
+                    self.expect_lit("=")?;
+                    self.skip_ws();
+                    let quote = match self.peek_or()? {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err_unexpected("attribute value (expected quote)")),
+                    };
+                    self.p += 1;
+                    let mut value = String::new();
+                    loop {
+                        match self.peek_or()? {
+                            None => return Err(self.err_eof()),
+                            Some(q) if q == quote => {
+                                self.p += 1;
+                                break;
+                            }
+                            Some(b'<') => {
+                                return Err(self.err_unexpected("'<' in attribute value"))
+                            }
+                            Some(b'&') => value.push(self.reference()?),
+                            Some(_) => {
+                                let rest = &self.s[self.p..];
+                                let stop =
+                                    rest.find([quote as char, '&', '<']).unwrap_or(rest.len());
+                                value.push_str(&rest[..stop]);
+                                self.p += stop;
+                            }
+                        }
+                    }
+                    self.attrs.push(Attribute { name: name.into(), value });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `<!-- … -->` (rejecting inner `--`), returning the body range.
+    fn comment_body(&mut self) -> Step<Range<usize>> {
+        self.expect_lit("<!--")?;
+        let end = self.find("-->")?;
+        let body = self.p..self.p + end;
+        if self.s[body.clone()].contains("--") {
+            return Err(self.err_unexpected("'--' inside comment"));
+        }
+        self.p += end + 3;
+        Ok(body)
+    }
+
+    /// `<?target data?>`, returning target and trimmed data ranges.
+    fn pi_body(&mut self) -> Step<(Range<usize>, Range<usize>)> {
+        self.expect_lit("<?")?;
+        let target = self.name()?;
+        let end = self.find("?>")?;
+        let raw = &self.s[self.p..self.p + end];
+        let trimmed = raw.len() - raw.trim_start().len();
+        let data = self.p + trimmed..self.p + end;
+        self.p += end + 2;
+        Ok((target, data))
+    }
+
+    /// `<!DOCTYPE name [subset]?>`, capturing the internal subset verbatim.
+    fn doctype_decl(&mut self) -> Step<Doctype> {
+        self.expect_lit("<!DOCTYPE")?;
+        self.skip_ws();
+        let name = self.name()?;
+        let name = self.s[name].to_owned();
+        let mut internal_subset = None;
+        loop {
+            self.skip_ws();
+            match self.peek_or()? {
+                Some(b'>') => {
+                    self.p += 1;
+                    break;
+                }
+                Some(b'[') => {
+                    self.p += 1;
+                    let start = self.p;
+                    // The internal subset may contain quoted strings and
+                    // comments with ']' inside; scan with minimal structure.
+                    let mut depth = 0usize;
+                    loop {
+                        match self.peek_or()? {
+                            None => return Err(self.err_eof()),
+                            Some(b']') if depth == 0 => break,
+                            Some(q @ (b'"' | b'\'')) => {
+                                self.p += 1;
+                                while let Some(c) = self.peek_or()? {
+                                    self.p += 1;
+                                    if c == q {
+                                        break;
+                                    }
+                                }
+                            }
+                            Some(b'<') if self.lit("<!--")? => {
+                                self.comment_body()?;
+                            }
+                            Some(b'<') => {
+                                depth += 1;
+                                self.p += 1;
+                            }
+                            Some(b'>') => {
+                                depth = depth.saturating_sub(1);
+                                self.p += 1;
+                            }
+                            Some(_) => self.p += 1,
+                        }
+                    }
+                    internal_subset = Some(self.s[start..self.p].to_owned());
+                    self.expect_lit("]")?;
+                }
+                Some(q @ (b'"' | b'\'')) => {
+                    self.p += 1;
+                    while let Some(c) = self.peek_or()? {
+                        self.p += 1;
+                        if c == q {
+                            break;
+                        }
+                    }
+                }
+                Some(_) => {
+                    // SYSTEM / PUBLIC keywords etc.
+                    self.p += 1;
+                }
+                None => return Err(self.err_eof()),
+            }
+        }
+        Ok(Doctype { name, internal_subset })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Collects the full event trace of `input` fed in `chunk`-byte pieces.
+    fn events(input: &str, chunk: usize) -> Result<Vec<String>> {
+        let mut p = PushParser::new();
+        let mut out = Vec::new();
+        let bytes = input.as_bytes();
+        let mut fed = 0;
+        let mut finished = false;
+        loop {
+            while let Some(ev) = p.next_event()? {
+                out.push(format!("{ev:?}"));
+            }
+            if p.is_complete() {
+                return Ok(out);
+            }
+            if fed < bytes.len() {
+                let end = (fed + chunk.max(1)).min(bytes.len());
+                p.push(&bytes[fed..end]);
+                fed = end;
+            } else if !finished {
+                p.finish();
+                finished = true;
+            } else {
+                unreachable!("parser neither complete nor erroring after finish");
+            }
+        }
+    }
+
+    #[test]
+    fn event_trace_stable_across_chunkings() {
+        let doc = r#"<?xml version="1.0"?><!DOCTYPE r [<!ELEMENT r (a)>]>
+<r a="x &amp; y"><a>one &lt; two<!-- note --><?pi data?><![CDATA[raw <>&]]></a> tail<b/></r> "#;
+        let whole = events(doc, doc.len()).unwrap();
+        // Tinier chunks split text runs into more pieces; merge continuation
+        // pieces into their `first` piece before comparing traces.
+        let stitch = |evs: Vec<String>| -> Vec<String> {
+            let mut out: Vec<String> = Vec::new();
+            for e in evs {
+                if e.starts_with("Text") && e.contains("first: false") {
+                    out.last_mut().expect("continuation follows a first piece").push_str(&e);
+                } else {
+                    out.push(e);
+                }
+            }
+            out
+        };
+        let reference = stitch(whole.clone());
+        for chunk in [1, 2, 3, 5, 7, 16, 64] {
+            let got = stitch(events(doc, chunk).unwrap());
+            assert_eq!(got.len(), reference.len(), "chunk={chunk}");
+        }
+        assert!(whole.iter().any(|e| e.contains("raw <>&")));
+    }
+
+    #[test]
+    fn errors_match_tree_parser() {
+        for bad in [
+            "<r><a></b></r>",
+            "<r/><x/>",
+            "</r>",
+            "",
+            "<r>&nope;</r>",
+            "<r a='1' a='2'/>",
+            "<r><!-- a -- b --></r>",
+            "<1r/>",
+            "<r x?",
+            "<r><a>",
+            "<r>text",
+            "text<r/>",
+            "<r a=x>",
+            "<r><![CDATA[never closed</r>",
+        ] {
+            let tree = crate::parse(bad).unwrap_err();
+            for chunk in [1, 3, bad.len().max(1)] {
+                let stream = events(bad, chunk).unwrap_err();
+                assert_eq!(stream, tree, "input={bad:?} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn doctype_captured() {
+        let mut p = PushParser::new();
+        p.push(b"<!DOCTYPE r [<!ELEMENT r EMPTY>]><r/>");
+        p.finish();
+        while p.next_event().unwrap().is_some() {}
+        assert!(p.is_complete());
+        let dt = p.doctype().unwrap();
+        assert_eq!(dt.name, "r");
+        assert!(dt.internal_subset.as_deref().unwrap().contains("EMPTY"));
+    }
+
+    #[test]
+    fn text_streams_in_pieces_with_first_flags() {
+        let mut p = PushParser::new();
+        let mut saw = Vec::new();
+        p.push(b"<r>ab");
+        while let Some(ev) = p.next_event().unwrap() {
+            if let Event::Text { piece, first } = ev {
+                saw.push((piece.to_owned(), first));
+            }
+        }
+        p.push(b"cd</r>");
+        p.finish();
+        while let Some(ev) = p.next_event().unwrap() {
+            if let Event::Text { piece, first } = ev {
+                saw.push((piece.to_owned(), first));
+            }
+        }
+        assert!(p.is_complete());
+        assert_eq!(saw, vec![("ab".to_owned(), true), ("cd".to_owned(), false)]);
+    }
+
+    #[test]
+    fn truncation_yields_clean_error_matching_tree() {
+        let doc = "<r><a>text &amp; more</a><b x=\"1\"/><!-- c --></r>";
+        for cut in 0..doc.len() {
+            let tree = crate::parse(&doc[..cut]).unwrap_err();
+            let stream = events(&doc[..cut], 1).unwrap_err();
+            assert_eq!(stream, tree, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn split_utf8_sequences_reassemble() {
+        let doc = "<r>héllo wörld — ☺</r>".to_owned();
+        let whole = events(&doc, doc.len()).unwrap();
+        let by_byte = events(&doc, 1).unwrap();
+        let text = |evs: &[String]| {
+            evs.iter().filter(|e| e.starts_with("Text")).cloned().collect::<String>()
+        };
+        assert!(text(&whole).contains('☺'));
+        assert_eq!(text(&by_byte).matches('☺').count(), 1);
+        assert_eq!(whole.first(), by_byte.first());
+    }
+
+    #[test]
+    fn peak_buffered_stays_small_on_large_streams() {
+        // A document much larger than any single construct: residency must
+        // track the construct size, not the document size.
+        let mut p = PushParser::new();
+        p.push(b"<r>");
+        let chunk = "x".repeat(1024);
+        for _ in 0..256 {
+            p.push(chunk.as_bytes());
+            while p.next_event().unwrap().is_some() {}
+        }
+        p.push(b"</r>");
+        p.finish();
+        while p.next_event().unwrap().is_some() {}
+        assert!(p.is_complete());
+        assert!(p.peak_buffered() < 8 * 1024, "peak={}", p.peak_buffered());
+    }
+}

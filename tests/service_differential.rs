@@ -211,6 +211,143 @@ fn unix_socket_round_trip() {
     assert!(!path.exists(), "socket file cleaned up");
 }
 
+/// In-process **streaming** expectation for a document text.
+fn expect_stream_outcome(b: BuiltinDtd, xml: &str, chunk: usize) -> PvOutcome {
+    let analysis = b.analysis();
+    let checker = PvChecker::new(&analysis);
+    let mut stream = pv_core::stream::StreamCheck::new(checker.stream_checker());
+    for piece in xml.as_bytes().chunks(chunk.max(1)) {
+        stream.feed(piece).unwrap();
+    }
+    stream.finish().unwrap()
+}
+
+#[test]
+fn check_stream_over_the_wire_bit_identical() {
+    let (server, mut client) = start_server();
+    let fig1 = client.load_builtin("figure1").unwrap();
+    for xml in [
+        "<r><a><b>A quick brown</b><c> fox</c> dog<e/></a></r>", // PV
+        "<r><a><b>A quick brown</b><e/><c> fox</c></a></r>",     // content-rejected
+        "<a><b/></a>",                                           // root mismatch
+        "<r><zzz/></r>",                                         // undeclared element
+        "<r/>",                                                  // trivial
+    ] {
+        let tree = expect_outcome(BuiltinDtd::Figure1, xml);
+        for chunk in [1usize, 7, xml.len()] {
+            // One invariant, three witnesses: the in-process streaming
+            // checker, the remote tree check, and the remote stream all
+            // agree bit-for-bit.
+            assert_eq!(expect_stream_outcome(BuiltinDtd::Figure1, xml, chunk), tree);
+            let got = client
+                .check_stream(&fig1.handle, xml.as_bytes().chunks(chunk))
+                .unwrap();
+            assert_eq!(got.outcome, tree, "figure1 chunk={chunk} xml={xml}");
+            assert!(got.memo.is_none(), "streaming never reports memo telemetry");
+        }
+    }
+    // Realistic corpora in several states of (dis)repair, uploaded in
+    // mid-construct-splitting chunk sizes.
+    for b in [BuiltinDtd::Play, BuiltinDtd::TeiLite] {
+        let dtd = client.load_builtin(b.name()).unwrap();
+        for (label, xml) in scenarios(b) {
+            let tree = expect_outcome(b, &xml);
+            for chunk in [3usize, 113, 64 << 10] {
+                let got =
+                    client.check_stream(&dtd.handle, xml.as_bytes().chunks(chunk)).unwrap();
+                assert_eq!(got.outcome, tree, "{}:{label} chunk={chunk}", b.name());
+            }
+        }
+    }
+    client.shutdown().unwrap();
+    drop(client);
+    server.join();
+}
+
+#[cfg(unix)]
+#[test]
+fn check_stream_unix_socket_round_trip() {
+    let path = std::env::temp_dir()
+        .join(format!("pv-service-stream-test-{}.sock", std::process::id()));
+    let server = Server::bind(&Endpoint::Unix(path.clone()), 2).expect("bind unix socket");
+    let mut client = Client::connect_endpoint(server.endpoint()).expect("connect unix");
+    let dtd = client.load_builtin("play").unwrap();
+    let mut doc = corpus::play(300);
+    Mutator::new(17).delete_random_markup(&mut doc, 40);
+    let xml = doc.to_xml();
+    let expect = expect_outcome(BuiltinDtd::Play, &xml);
+    for chunk in [1usize, 251, xml.len()] {
+        let got = client.check_stream(&dtd.handle, xml.as_bytes().chunks(chunk)).unwrap();
+        assert_eq!(got.outcome, expect, "chunk={chunk}");
+    }
+    client.shutdown().unwrap();
+    drop(client);
+    server.join();
+}
+
+#[test]
+fn check_stream_errors_leave_the_connection_usable() {
+    let (server, mut client) = start_server();
+    let dtd = client.load_builtin("figure1").unwrap();
+    let xml = "<r><a><b>x</b><c>y</c> dog<e/></a></r>";
+    // Unknown handle: the server must drain the chunk sequence before
+    // answering, or these bytes would be parsed as garbage requests.
+    let err = client.check_stream("d999", xml.as_bytes().chunks(4)).unwrap_err();
+    assert!(err.to_string().contains("unknown DTD handle"), "{err}");
+    assert_eq!(
+        client.check_stream(&dtd.handle, xml.as_bytes().chunks(4)).unwrap().outcome,
+        expect_outcome(BuiltinDtd::Figure1, xml)
+    );
+    // Malformed document: clean app-level error, connection stays usable.
+    let err = client.check_stream(&dtd.handle, "<r><broken".as_bytes().chunks(3)).unwrap_err();
+    assert!(err.to_string().contains("not well-formed"), "{err}");
+    // Truncated document: same surface.
+    let err = client.check_stream(&dtd.handle, "<r><a>".as_bytes().chunks(2)).unwrap_err();
+    assert!(err.to_string().contains("not well-formed"), "{err}");
+    let got = client.check_stream(&dtd.handle, xml.as_bytes().chunks(7)).unwrap();
+    assert_eq!(got.outcome, expect_outcome(BuiltinDtd::Figure1, xml));
+    // And the plain tree path still works on the same connection.
+    let got = client.check(&dtd.handle, xml, 2, true).unwrap();
+    assert_eq!(got.outcome, expect_outcome(BuiltinDtd::Figure1, xml));
+    client.shutdown().unwrap();
+    drop(client);
+    server.join();
+}
+
+#[test]
+fn mid_stream_disconnect_leaves_the_server_healthy() {
+    use std::io::Write as _;
+    let (server, mut client) = start_server();
+    let dtd = client.load_builtin("figure1").unwrap();
+    let addr = match server.endpoint() {
+        Endpoint::Tcp(a) => a.clone(),
+        _ => unreachable!("test server binds TCP"),
+    };
+    // A client that starts a CHECK_STREAM upload and vanishes mid-chunk
+    // sequence (connection dropped without the zero-length terminator).
+    for partial in ["", "<r><a><b>x", "<r><a><b>x</b><c>y</c> dog<e/></a></r>"] {
+        let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+        writeln!(raw, "CHECK_STREAM {}", dtd.handle).unwrap();
+        if !partial.is_empty() {
+            writeln!(raw, "{}", partial.len()).unwrap();
+            raw.write_all(partial.as_bytes()).unwrap();
+        }
+        raw.flush().unwrap();
+        drop(raw); // vanish without the terminator
+    }
+    // The server must shrug those off and keep serving this connection.
+    let xml = "<r><a><b>x</b><c>y</c> dog<e/></a></r>";
+    let got = client.check_stream(&dtd.handle, xml.as_bytes().chunks(5)).unwrap();
+    assert_eq!(got.outcome, expect_outcome(BuiltinDtd::Figure1, xml));
+    // And fresh connections are still accepted afterwards.
+    let mut late = Client::connect_endpoint(server.endpoint()).unwrap();
+    late.ping().unwrap();
+    drop(late);
+    client.shutdown().unwrap();
+    drop(client);
+    server.join();
+}
+
 #[test]
 fn protocol_errors_leave_the_connection_usable() {
     let (server, mut client) = start_server();

@@ -1,0 +1,274 @@
+//! Torture tests for the resumable push lexer ([`pv_xml::PushParser`]):
+//! arbitrary chunk boundaries must be invisible, truncation must be a
+//! clean error (never a wrong verdict), and no input — well-formed,
+//! truncated, or raw byte soup — may panic the parser.
+//!
+//! The equivalence oracle is the tree parser: for every well-formed
+//! document the push parser's event stream must describe exactly the
+//! tree `pv_xml::parse` builds (same elements, attributes, text nodes,
+//! comments, PIs, in the same order), and for every broken input both
+//! parsers must report the **same error** (the push parser reuses the
+//! tree parser's lexer, so diagnostics are byte-identical).
+
+use proptest::prelude::*;
+use potential_validity::prelude::*;
+use pv_core::stream::StreamCheck;
+use pv_xml::{Event, NodeKind, PushParser};
+use pv_workload::corpus;
+use pv_workload::docgen::DocGen;
+
+/// Pumps `xml` through a push parser in `chunks`-byte chunks and renders
+/// a canonical event trace (multi-piece text runs collapsed to one text
+/// node, self-closing tags expanded to start+end — the tree's view).
+fn event_trace(xml: &str, chunk: usize) -> pv_xml::Result<String> {
+    let mut parser = PushParser::new();
+    let mut out = String::new();
+    let mut text: Option<String> = None;
+    let mut pieces = xml.as_bytes().chunks(chunk.max(1));
+    let mut eof = false;
+    let flush = |text: &mut Option<String>, out: &mut String| {
+        if let Some(t) = text.take() {
+            out.push_str(&format!("T:{t:?}\n"));
+        }
+    };
+    loop {
+        match parser.next_event()? {
+            Some(Event::Start { name, attrs, self_closing }) => {
+                flush(&mut text, &mut out);
+                out.push_str(&format!("S:{name}"));
+                for a in attrs {
+                    out.push_str(&format!(" {}={:?}", a.name, a.value));
+                }
+                out.push('\n');
+                if self_closing {
+                    out.push_str(&format!("E:{name}\n"));
+                }
+            }
+            Some(Event::End { name }) => {
+                flush(&mut text, &mut out);
+                out.push_str(&format!("E:{name}\n"));
+            }
+            Some(Event::Text { piece, first }) => {
+                if first {
+                    flush(&mut text, &mut out);
+                    text = Some(String::new());
+                }
+                text.as_mut().expect("continuation piece without a first").push_str(piece);
+            }
+            Some(Event::Comment { text: c }) => {
+                flush(&mut text, &mut out);
+                out.push_str(&format!("C:{c:?}\n"));
+            }
+            Some(Event::Pi { target, data }) => {
+                flush(&mut text, &mut out);
+                out.push_str(&format!("P:{target} {data:?}\n"));
+            }
+            None if eof => break,
+            None => match pieces.next() {
+                Some(c) => parser.push(c),
+                None => {
+                    parser.finish();
+                    eof = true;
+                }
+            },
+        }
+    }
+    assert!(parser.is_complete(), "event stream ended on an incomplete document");
+    Ok(out)
+}
+
+/// The same canonical trace, derived from the tree parser's document.
+fn tree_trace(doc: &Document) -> String {
+    enum Step {
+        Enter(NodeId),
+        Close(NodeId),
+    }
+    let mut out = String::new();
+    let mut stack = vec![Step::Enter(doc.root())];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Close(n) => {
+                out.push_str(&format!("E:{}\n", doc.name(n).unwrap()));
+            }
+            Step::Enter(n) => match &doc.node(n).kind {
+                NodeKind::Text(t) => out.push_str(&format!("T:{t:?}\n")),
+                NodeKind::Comment(c) => out.push_str(&format!("C:{c:?}\n")),
+                NodeKind::Pi { target, data } => {
+                    out.push_str(&format!("P:{target} {data:?}\n"))
+                }
+                NodeKind::Element { name, attrs } => {
+                    out.push_str(&format!("S:{name}"));
+                    for a in attrs {
+                        out.push_str(&format!(" {}={:?}", a.name, a.value));
+                    }
+                    out.push('\n');
+                    stack.push(Step::Close(n));
+                    for &c in doc.children(n).iter().rev() {
+                        stack.push(Step::Enter(c));
+                    }
+                }
+            },
+        }
+    }
+    out
+}
+
+/// Hand-picked markup shapes that stress the lexer's resumption points:
+/// splits land inside names, attributes, references, comments, PIs,
+/// CDATA sections, and multi-byte UTF-8 sequences.
+const EDGE_DOCS: &[&str] = &[
+    "<r><a><b>x</b><c>y</c> z<e/></a></r>",
+    "<r a=\"1\" b='two&amp;'><x/>tail</r>",
+    "<r><![CDATA[literal <markup> &amp; kept]]>after</r>",
+    "<r><![CDATA[]]></r>",
+    "<r>one<!--comment--><![CDATA[two]]>three</r>",
+    "<r><?pi some data?><?bare?></r>",
+    "<r>ünïcödé — 試験 &#x2603;</r>",
+    "<r    \n  a = \"ws\"  ><b\n/></r>",
+];
+
+#[test]
+fn edge_documents_trace_identically_at_every_split() {
+    for xml in EDGE_DOCS {
+        let expect = tree_trace(&pv_xml::parse(xml).unwrap());
+        for chunk in 1..=xml.len() {
+            assert_eq!(
+                event_trace(xml, chunk).unwrap(),
+                expect,
+                "xml={xml} chunk={chunk}"
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_documents_trace_identically() {
+    for b in BuiltinDtd::ALL {
+        let Some(doc) = corpus::for_builtin(b, 300) else { continue };
+        let xml = doc.to_xml();
+        let expect = tree_trace(&pv_xml::parse(&xml).unwrap());
+        for chunk in [1usize, 7, 64, xml.len()] {
+            assert_eq!(event_trace(&xml, chunk).unwrap(), expect, "{} chunk={chunk}", b.name());
+        }
+    }
+}
+
+/// Every strict prefix of a well-formed document (no trailing misc) is
+/// incomplete or broken: the push parser must report a clean error —
+/// the **same** error the tree parser reports for that prefix — and the
+/// streaming checker must propagate it instead of inventing a verdict.
+#[test]
+fn every_prefix_truncation_is_a_clean_error() {
+    let analysis = BuiltinDtd::Figure1.analysis();
+    let checker = PvChecker::new(&analysis);
+    let full = "<r><a><b>x&amp;y</b><c a=\"v\">ü</c> z<!--c--><e/></a></r>";
+    for cut in 1..full.len() {
+        if !full.is_char_boundary(cut) {
+            continue; // byte-level truncation of UTF-8 is covered below
+        }
+        let prefix = &full[..cut];
+        let tree_err = pv_xml::parse(prefix).expect_err("strict prefix cannot be complete");
+        for chunk in [1usize, 4, prefix.len()] {
+            let stream_err =
+                event_trace(prefix, chunk).expect_err("push parser must also reject");
+            assert_eq!(
+                stream_err.to_string(),
+                tree_err.to_string(),
+                "cut={cut} chunk={chunk}"
+            );
+            // The checking layer sees the error, not a verdict.
+            let mut check = StreamCheck::new(checker.stream_checker());
+            let fed: Result<Vec<()>, _> =
+                prefix.as_bytes().chunks(chunk).map(|c| check.feed(c)).collect();
+            match fed {
+                Err(e) => assert_eq!(e.to_string(), tree_err.to_string(), "cut={cut}"),
+                Ok(_) => {
+                    let e = check.finish().expect_err("truncation must not yield a verdict");
+                    assert_eq!(e.to_string(), tree_err.to_string(), "cut={cut}");
+                }
+            }
+        }
+    }
+}
+
+/// Byte soup — including invalid UTF-8 and mid-codepoint truncations —
+/// must never panic; it either errors or (for the rare well-formed
+/// accident) completes.
+#[test]
+fn byte_soup_never_panics() {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let alphabet: &[u8] = b"<>!?/=\"'&;ab \xC3\xBC\xE8\xA9\xA6\xFF\x00-[]CDATA";
+    for _ in 0..400 {
+        let len = (rng() % 64) as usize;
+        let mut soup = Vec::with_capacity(len + 1);
+        soup.push(b'<'); // start tag-ish so the lexer engages
+        for _ in 0..len {
+            soup.push(alphabet[(rng() % alphabet.len() as u64) as usize]);
+        }
+        let mut parser = PushParser::new();
+        let chunk = 1 + (rng() % 9) as usize;
+        let mut pieces = soup.chunks(chunk);
+        let mut eof = false;
+        loop {
+            match parser.next_event() {
+                Err(_) => break, // clean rejection
+                Ok(Some(_)) => continue,
+                Ok(None) if eof => break,
+                Ok(None) => match pieces.next() {
+                    Some(c) => parser.push(c),
+                    None => {
+                        parser.finish();
+                        eof = true;
+                    }
+                },
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Random well-formed documents × random chunk sizes: the event
+    /// stream describes exactly the tree the batch parser builds.
+    #[test]
+    fn generated_documents_trace_identically(
+        seed in 0u64..5000,
+        nodes in 5usize..60,
+        chunk in 1usize..129,
+    ) {
+        let analysis = BuiltinDtd::Play.analysis();
+        let doc = DocGen::new(&analysis, seed).generate(nodes);
+        let xml = doc.to_xml();
+        let expect = tree_trace(&pv_xml::parse(&xml).unwrap());
+        prop_assert_eq!(event_trace(&xml, chunk).unwrap(), expect);
+    }
+
+    /// Random truncations of random documents: clean error, never a
+    /// verdict, never a panic.
+    #[test]
+    fn generated_truncations_error_cleanly(
+        seed in 0u64..5000,
+        cut_mille in 50u64..999,
+        chunk in 1usize..65,
+    ) {
+        let analysis = BuiltinDtd::Play.analysis();
+        let doc = DocGen::new(&analysis, seed).generate(20);
+        let xml = doc.to_xml();
+        let mut cut = (xml.len() * cut_mille as usize) / 1000;
+        cut = cut.clamp(1, xml.len() - 1);
+        while !xml.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let prefix = &xml[..cut];
+        let tree_err = pv_xml::parse(prefix).expect_err("strict prefix cannot be complete");
+        let stream_err = event_trace(prefix, chunk).expect_err("push parser must reject too");
+        prop_assert_eq!(stream_err.to_string(), tree_err.to_string());
+    }
+}
