@@ -3,25 +3,31 @@
 //! See `pvx --help` or the crate docs of `pv-cli` for usage.
 
 use pv_cli::{
-    cmd_check, cmd_check_remote, cmd_check_stream, cmd_check_stream_remote, cmd_classify,
-    cmd_complete, cmd_lint, cmd_validate, render_check_error, resolve_dtd, CheckOpts,
-    Status,
+    cmd_bench_serve, cmd_check, cmd_check_remote, cmd_check_stream, cmd_check_stream_remote,
+    cmd_classify, cmd_complete, cmd_lint, cmd_validate, render_check_error, resolve_dtd,
+    BenchServeOpts, CheckOpts, RemoteTarget, Status,
 };
 use pv_core::depth::DepthPolicy;
-use pv_service::{Client, Endpoint, Server};
+use pv_service::{Endpoint, GovernorConfig, LogSink, Server};
+use std::time::Duration;
 
 const USAGE: &str = "\
 pvx — potential validity of document-centric XML (ICDE 2006)
 
 USAGE:
   pvx check    [--dtd FILE --root NAME | --builtin NAME] [--depth N] [--jobs N]
-               [--no-memo] [--json] [--stream [--chunk-size N]] [--remote ADDR]
-               DOC.xml...
+               [--no-memo] [--json] [--stream [--chunk-size N]]
+               [--remote ADDR[,ADDR...]] DOC.xml...
   pvx validate [--dtd FILE --root NAME | --builtin NAME] [--ignore-whitespace] DOC.xml...
   pvx complete [--dtd FILE --root NAME | --builtin NAME] DOC.xml
   pvx classify (--dtd FILE --root NAME | --builtin NAME)
   pvx lint     (--dtd FILE --root NAME | --builtin NAME)
-  pvx serve    (--socket PATH | --port N) [--jobs N]
+  pvx serve    (--socket PATH | --port N) [--jobs N] [--max-conns N]
+               [--max-inflight N] [--idle-timeout-ms N] [--read-timeout-ms N]
+               [--write-timeout-ms N] [--drain-ms N] [--max-payload BYTES]
+               [--max-request BYTES] [--access-log]
+  pvx bench-serve --remote ADDR[,ADDR...] [--builtin NAME] [--doc FILE]
+               [--requests N] [--concurrency N] [--flood N] [--json]
 
 Without --dtd/--builtin, documents must carry an internal DTD subset
 (<!DOCTYPE root [ ... ]>). Builtins: figure1, t1, t2, xhtml-basic,
@@ -50,7 +56,24 @@ per loaded DTD, pre-compiled DAGs plus a warm shape cache shared across
 requests. `pvx check --remote ADDR` ships documents to such a server
 (ADDR is the socket path or host:port) and renders the bit-identical
 outcome; the DTD resolves locally as usual and is loaded (idempotently)
-into the server on first use.
+into the server on first use. A comma-separated --remote list routes
+DTDs across the backends by consistent hash, replicates loads, and
+fails over on a dead or overloaded backend — outcomes stay
+bit-identical.
+
+`pvx serve` governance: --max-conns caps concurrent connections (excess
+gets a clean BUSY error; 0 = unlimited), --max-inflight caps concurrent
+pool-bound checks (excess is shed per request), --idle-timeout-ms reaps
+connections idle between requests, --read/--write-timeout-ms bound each
+transfer, --drain-ms bounds the graceful drain after SHUTDOWN, and
+--max-payload/--max-request cap request sizes. A timeout value of 0
+disables that deadline. --access-log prints one structured line per
+request (op, handle, bytes, duration, verdict, disposition) to stderr.
+
+`pvx bench-serve` measures a server honestly: every request counts as
+exactly one of ok / shed (server said busy or draining) / error, so
+throughput and shed rate are real. --flood holds N extra idle
+connections open to push a --max-conns-limited server into shedding.
 
 EXIT CODES: 0 ok / potentially valid · 1 check failed · 2 usage or parse error";
 
@@ -69,6 +92,19 @@ struct Args {
     ignore_whitespace: bool,
     stream: bool,
     chunk_size: Option<usize>,
+    max_conns: Option<usize>,
+    max_inflight: Option<usize>,
+    idle_timeout_ms: Option<u64>,
+    read_timeout_ms: Option<u64>,
+    write_timeout_ms: Option<u64>,
+    drain_ms: Option<u64>,
+    max_payload: Option<usize>,
+    max_request: Option<usize>,
+    access_log: bool,
+    requests: Option<usize>,
+    concurrency: Option<usize>,
+    flood: Option<usize>,
+    doc_file: Option<String>,
     docs: Vec<String>,
 }
 
@@ -90,6 +126,19 @@ fn parse_args() -> Result<Args, String> {
         ignore_whitespace: false,
         stream: false,
         chunk_size: None,
+        max_conns: None,
+        max_inflight: None,
+        idle_timeout_ms: None,
+        read_timeout_ms: None,
+        write_timeout_ms: None,
+        drain_ms: None,
+        max_payload: None,
+        max_request: None,
+        access_log: false,
+        requests: None,
+        concurrency: None,
+        flood: None,
+        doc_file: None,
         docs: Vec::new(),
     };
     let need_value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -118,6 +167,59 @@ fn parse_args() -> Result<Args, String> {
             }
             "--ignore-whitespace" => args.ignore_whitespace = true,
             "--stream" => args.stream = true,
+            "--max-conns" => {
+                let v = need_value(&mut argv, "--max-conns")?;
+                args.max_conns = Some(v.parse().map_err(|_| format!("bad --max-conns {v:?}"))?);
+            }
+            "--max-inflight" => {
+                let v = need_value(&mut argv, "--max-inflight")?;
+                args.max_inflight =
+                    Some(v.parse().map_err(|_| format!("bad --max-inflight {v:?}"))?);
+            }
+            "--idle-timeout-ms" => {
+                let v = need_value(&mut argv, "--idle-timeout-ms")?;
+                args.idle_timeout_ms =
+                    Some(v.parse().map_err(|_| format!("bad --idle-timeout-ms {v:?}"))?);
+            }
+            "--read-timeout-ms" => {
+                let v = need_value(&mut argv, "--read-timeout-ms")?;
+                args.read_timeout_ms =
+                    Some(v.parse().map_err(|_| format!("bad --read-timeout-ms {v:?}"))?);
+            }
+            "--write-timeout-ms" => {
+                let v = need_value(&mut argv, "--write-timeout-ms")?;
+                args.write_timeout_ms =
+                    Some(v.parse().map_err(|_| format!("bad --write-timeout-ms {v:?}"))?);
+            }
+            "--drain-ms" => {
+                let v = need_value(&mut argv, "--drain-ms")?;
+                args.drain_ms = Some(v.parse().map_err(|_| format!("bad --drain-ms {v:?}"))?);
+            }
+            "--max-payload" => {
+                let v = need_value(&mut argv, "--max-payload")?;
+                args.max_payload =
+                    Some(v.parse().map_err(|_| format!("bad --max-payload {v:?}"))?);
+            }
+            "--max-request" => {
+                let v = need_value(&mut argv, "--max-request")?;
+                args.max_request =
+                    Some(v.parse().map_err(|_| format!("bad --max-request {v:?}"))?);
+            }
+            "--access-log" => args.access_log = true,
+            "--requests" => {
+                let v = need_value(&mut argv, "--requests")?;
+                args.requests = Some(v.parse().map_err(|_| format!("bad --requests {v:?}"))?);
+            }
+            "--concurrency" => {
+                let v = need_value(&mut argv, "--concurrency")?;
+                args.concurrency =
+                    Some(v.parse().map_err(|_| format!("bad --concurrency {v:?}"))?);
+            }
+            "--flood" => {
+                let v = need_value(&mut argv, "--flood")?;
+                args.flood = Some(v.parse().map_err(|_| format!("bad --flood {v:?}"))?);
+            }
+            "--doc" => args.doc_file = Some(need_value(&mut argv, "--doc")?),
             "--chunk-size" => {
                 let v = need_value(&mut argv, "--chunk-size")?;
                 let n: usize = v.parse().map_err(|_| format!("bad --chunk-size {v:?}"))?;
@@ -142,6 +244,37 @@ fn die(msg: &str) -> ! {
     std::process::exit(Status::Error.code());
 }
 
+/// Maps a `--*-timeout-ms` flag onto the governor's `Option<Duration>`:
+/// absent keeps the default, `0` disables the deadline.
+fn timeout_flag(ms: Option<u64>, default: Option<Duration>) -> Option<Duration> {
+    match ms {
+        None => default,
+        Some(0) => None,
+        Some(ms) => Some(Duration::from_millis(ms)),
+    }
+}
+
+fn governance(args: &Args) -> GovernorConfig {
+    let d = GovernorConfig::default();
+    let mut limits = d.limits;
+    if let Some(p) = args.max_payload {
+        limits.max_payload = p;
+    }
+    if let Some(r) = args.max_request {
+        limits.max_request = r;
+    }
+    GovernorConfig {
+        max_connections: args.max_conns.unwrap_or(d.max_connections),
+        max_inflight: args.max_inflight.unwrap_or(d.max_inflight),
+        idle_timeout: timeout_flag(args.idle_timeout_ms, d.idle_timeout),
+        read_timeout: timeout_flag(args.read_timeout_ms, d.read_timeout),
+        write_timeout: timeout_flag(args.write_timeout_ms, d.write_timeout),
+        drain_deadline: args.drain_ms.map(Duration::from_millis).unwrap_or(d.drain_deadline),
+        limits,
+        log: if args.access_log { LogSink::Stderr } else { LogSink::Null },
+    }
+}
+
 fn cmd_serve(args: &Args) -> ! {
     let endpoint = match (&args.socket, args.port) {
         (Some(path), None) => Endpoint::Unix(path.into()),
@@ -151,7 +284,7 @@ fn cmd_serve(args: &Args) -> ! {
     // `check` defaults to sequential, but a server wants every CPU:
     // unset --jobs means 0 (one parked worker per CPU) here.
     let jobs = args.jobs.unwrap_or(0);
-    match Server::bind(&endpoint, jobs) {
+    match Server::bind_with(&endpoint, jobs, governance(args)) {
         Err(e) => die(&format!("cannot bind {endpoint}: {e}")),
         Ok(handle) => {
             println!(
@@ -165,25 +298,62 @@ fn cmd_serve(args: &Args) -> ! {
     }
 }
 
+/// A small valid document per built-in, for `bench-serve` runs that
+/// don't pass `--doc FILE`.
+fn bench_doc(builtin: &str) -> Option<&'static str> {
+    match builtin {
+        "figure1" => Some("<r><a><b>x</b><c>y</c> z<e/></a></r>"),
+        "t1" => Some("<a><a/></a>"),
+        _ => None,
+    }
+}
+
+fn cmd_bench(args: &Args) -> ! {
+    let Some(addr) = args.remote.clone() else {
+        die("bench-serve needs --remote ADDR[,ADDR...]");
+    };
+    let builtin = args.builtin.clone().unwrap_or_else(|| "figure1".to_owned());
+    let xml = match &args.doc_file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => die(&format!("cannot read {path}: {e}")),
+        },
+        None => match bench_doc(&builtin) {
+            Some(d) => d.to_owned(),
+            None => die(&format!("no built-in bench document for {builtin:?}; pass --doc FILE")),
+        },
+    };
+    let opts = BenchServeOpts {
+        addr,
+        builtin,
+        xml,
+        requests: args.requests.unwrap_or(200),
+        concurrency: args.concurrency.unwrap_or(4),
+        flood: args.flood.unwrap_or(0),
+        json: args.json,
+    };
+    let (report, status) = cmd_bench_serve(&opts);
+    print!("{report}");
+    std::process::exit(status.code());
+}
+
 /// Loads the `--builtin`/`--dtd` DTD into the server (idempotent),
 /// returning the handle — or `None` when the DTD comes from each
 /// document's internal subset (see [`remote_handle_for_doc`]). Resolved
 /// **once** per run: the handle does not depend on the document, so
 /// re-shipping the DTD source per document would only waste round trips.
 fn remote_handle_fixed(
-    client: &mut Client,
+    target: &mut RemoteTarget,
     args: &Args,
     dtd_src: Option<&str>,
 ) -> Option<Result<String, String>> {
     if let Some(name) = &args.builtin {
-        return Some(client.load_builtin(name).map(|i| i.handle).map_err(|e| e.to_string()));
+        return Some(target.load_builtin(name).map_err(|e| e.to_string()));
     }
     if let Some(src) = dtd_src {
         return Some(match args.root.as_deref() {
             None => Err("--dtd requires --root NAME".to_owned()),
-            Some(root) => {
-                client.load_dtd(root, src).map(|i| i.handle).map_err(|e| e.to_string())
-            }
+            Some(root) => target.load_dtd(root, src).map_err(|e| e.to_string()),
         });
     }
     None
@@ -192,7 +362,7 @@ fn remote_handle_fixed(
 /// The per-document fallback: load the document's internal DTD subset
 /// (interned server-side, so repeated subsets share one engine).
 fn remote_handle_for_doc(
-    client: &mut Client,
+    target: &mut RemoteTarget,
     args: &Args,
     doc: &pv_xml::Document,
 ) -> Result<String, String> {
@@ -205,7 +375,7 @@ fn remote_handle_for_doc(
         .as_deref()
         .ok_or("document DOCTYPE has no internal subset; pass --dtd")?;
     let root = args.root.clone().unwrap_or_else(|| dt.name.clone());
-    client.load_dtd(&root, subset).map(|i| i.handle).map_err(|e| e.to_string())
+    target.load_dtd(&root, subset).map_err(|e| e.to_string())
 }
 
 fn main() {
@@ -219,6 +389,9 @@ fn main() {
 
     if args.command == "serve" {
         cmd_serve(&args);
+    }
+    if args.command == "bench-serve" {
+        cmd_bench(&args);
     }
 
     if args.remote.is_some() {
@@ -260,7 +433,7 @@ fn main() {
 
     let mut remote = match &args.remote {
         None => None,
-        Some(addr) => match Client::connect(addr) {
+        Some(addr) => match RemoteTarget::connect(addr) {
             Ok(c) => Some(c),
             Err(e) => die(&format!("cannot connect to {addr}: {e}")),
         },

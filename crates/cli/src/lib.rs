@@ -279,17 +279,100 @@ pub fn cmd_check(ctx: &DtdContext, name: &str, doc: &Document, opts: &CheckOpts)
     render_check(name, &report, opts.json)
 }
 
-/// `pvx check --remote`: ship the document to a resident `pvx serve` and
-/// render its (bit-identical) outcome with the same renderer as the local
-/// path. `handle` comes from a prior [`pv_service::Client`] load call.
+/// What `pvx check --remote ADDR[,ADDR...]` talks to: one server, or a
+/// consistent-hash router over several (see [`pv_service::MultiClient`]).
+/// The `handle` strings the load calls return are opaque to callers —
+/// a server-issued handle in the single case, a routing key in the
+/// multi case — and flow unchanged into the check calls.
+pub enum RemoteTarget {
+    /// One backend, one connection.
+    Single(pv_service::Client),
+    /// N backends behind the consistent-hash router.
+    Multi(pv_service::MultiClient),
+}
+
+impl RemoteTarget {
+    /// Connects: a comma in `addr` selects the multi-backend router
+    /// (which connects lazily); otherwise a single blocking client.
+    pub fn connect(addr: &str) -> std::io::Result<RemoteTarget> {
+        if addr.contains(',') {
+            let addrs: Vec<String> = addr
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect();
+            if addrs.is_empty() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "no backend addresses given",
+                ));
+            }
+            Ok(RemoteTarget::Multi(pv_service::MultiClient::new(
+                &addrs,
+                pv_service::RouterConfig::default(),
+            )))
+        } else {
+            pv_service::Client::connect(addr).map(RemoteTarget::Single)
+        }
+    }
+
+    /// Loads a built-in DTD, returning the opaque handle/key.
+    pub fn load_builtin(&mut self, name: &str) -> pv_service::Result<String> {
+        match self {
+            RemoteTarget::Single(c) => c.load_builtin(name).map(|i| i.handle),
+            RemoteTarget::Multi(m) => m.load_builtin(name).map(|l| l.key),
+        }
+    }
+
+    /// Loads a DTD from source, returning the opaque handle/key.
+    pub fn load_dtd(&mut self, root: &str, source: &str) -> pv_service::Result<String> {
+        match self {
+            RemoteTarget::Single(c) => c.load_dtd(root, source).map(|i| i.handle),
+            RemoteTarget::Multi(m) => m.load_dtd(root, source).map(|l| l.key),
+        }
+    }
+
+    /// Checks one document (`CHECK`).
+    pub fn check(
+        &mut self,
+        handle: &str,
+        xml: &str,
+        jobs: usize,
+        memo: bool,
+    ) -> pv_service::Result<pv_service::RemoteCheck> {
+        match self {
+            RemoteTarget::Single(c) => c.check(handle, xml, jobs, memo),
+            RemoteTarget::Multi(m) => m.check(handle, xml, jobs, memo),
+        }
+    }
+
+    /// Streams one document in `chunk`-byte pieces (`CHECK_STREAM`).
+    pub fn check_stream(
+        &mut self,
+        handle: &str,
+        data: &[u8],
+        chunk: usize,
+    ) -> pv_service::Result<pv_service::RemoteCheck> {
+        match self {
+            RemoteTarget::Single(c) => c.check_stream(handle, data.chunks(chunk.max(1))),
+            RemoteTarget::Multi(m) => m.check_stream(handle, data, chunk),
+        }
+    }
+}
+
+/// `pvx check --remote`: ship the document to a resident `pvx serve` (or
+/// a set of them) and render the (bit-identical) outcome with the same
+/// renderer as the local path. `handle` comes from a prior
+/// [`RemoteTarget`] load call.
 pub fn cmd_check_remote(
-    client: &mut pv_service::Client,
+    target: &mut RemoteTarget,
     handle: &str,
     name: &str,
     xml: &str,
     opts: &CheckOpts,
 ) -> (String, Status) {
-    match client.check(handle, xml, opts.jobs, opts.memo) {
+    match target.check(handle, xml, opts.jobs, opts.memo) {
         Err(e) => (render_check_error(name, &e.to_string(), opts.json), Status::Error),
         Ok(remote) => {
             let report = CheckReport {
@@ -398,14 +481,14 @@ pub fn cmd_check_stream(
 /// client uploads, holding O(depth) state — and render the
 /// (bit-identical) outcome with the shared renderer.
 pub fn cmd_check_stream_remote(
-    client: &mut pv_service::Client,
+    target: &mut RemoteTarget,
     handle: &str,
     name: &str,
     xml: &str,
     chunk_size: usize,
     opts: &CheckOpts,
 ) -> (String, Status) {
-    match client.check_stream(handle, xml.as_bytes().chunks(chunk_size.max(1))) {
+    match target.check_stream(handle, xml.as_bytes(), chunk_size) {
         Err(e) => (render_check_error(name, &e.to_string(), opts.json), Status::Error),
         Ok(remote) => {
             let report = CheckReport {
@@ -417,6 +500,137 @@ pub fn cmd_check_stream_remote(
             };
             render_check(name, &report, opts.json)
         }
+    }
+}
+
+/// Options for the `pvx bench-serve` load generator.
+pub struct BenchServeOpts {
+    /// Backend address(es), comma-separated.
+    pub addr: String,
+    /// Built-in DTD every request checks against.
+    pub builtin: String,
+    /// The document text each request ships.
+    pub xml: String,
+    /// Total requests across all workers.
+    pub requests: usize,
+    /// Concurrent worker connections.
+    pub concurrency: usize,
+    /// Extra idle connections held open for the whole run (a connection
+    /// flood: against a low `--max-conns` server these soak up permits,
+    /// so the workers' shed rate becomes measurable).
+    pub flood: usize,
+    /// Emit one JSON line instead of text.
+    pub json: bool,
+}
+
+/// `pvx bench-serve`: an honest load generator for `pvx serve`. Every
+/// request lands in exactly one bucket — `ok`, `shed` (the server said
+/// `busy`/`draining`; nothing was checked), or `errors` — so the
+/// reported shed rate is the real one, not retries hidden as successes.
+/// Workers round-robin over the backends and reconnect after a shed or
+/// transport failure (the next request pays the reconnect, as a real
+/// client would).
+pub fn cmd_bench_serve(opts: &BenchServeOpts) -> (String, Status) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let addrs: Vec<String> = opts
+        .addr
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if addrs.is_empty() {
+        return ("bench-serve: no backend addresses given\n".to_owned(), Status::Error);
+    }
+    // The flood connects first and holds its sockets for the whole run.
+    let flood: Vec<pv_service::Client> = (0..opts.flood)
+        .filter_map(|i| pv_service::Client::connect(&addrs[i % addrs.len()]).ok())
+        .collect();
+    let ok = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
+    let errors = AtomicUsize::new(0);
+    let workers = opts.concurrency.max(1);
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let share = opts.requests / workers + usize::from(w < opts.requests % workers);
+            let (addrs, ok, shed, errors) = (&addrs, &ok, &shed, &errors);
+            scope.spawn(move || {
+                let addr = &addrs[w % addrs.len()];
+                let mut conn: Option<(pv_service::Client, String)> = None;
+                for _ in 0..share {
+                    if conn.is_none() {
+                        match pv_service::Client::connect(addr) {
+                            Ok(mut c) => match c.load_builtin(&opts.builtin) {
+                                Ok(info) => conn = Some((c, info.handle)),
+                                Err(pv_service::ServiceError::Unavailable { .. }) => {
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                                Err(_) => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                            },
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        }
+                    }
+                    let (c, handle) = conn.as_mut().expect("connected above");
+                    match c.check(handle, &opts.xml, 1, true) {
+                        Ok(_) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(pv_service::ServiceError::Unavailable { .. }) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                            conn = None;
+                        }
+                        Err(pv_service::ServiceError::Remote(_)) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            conn = None;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+    drop(flood);
+    let (ok, shed, errors) =
+        (ok.into_inner(), shed.into_inner(), errors.into_inner());
+    let rps = ok as f64 / elapsed.as_secs_f64().max(1e-9);
+    let shed_rate = shed as f64 / (opts.requests.max(1)) as f64;
+    let status = if errors == 0 { Status::Ok } else { Status::Error };
+    if opts.json {
+        let line = format!(
+            "{{\"group\":\"bench_serve\",\"id\":\"{}-c{}-f{}\",\"requests\":{},\"ok\":{ok},\
+             \"shed\":{shed},\"errors\":{errors},\"elapsed_ms\":{},\"rps\":{rps:.1},\
+             \"shed_rate\":{shed_rate:.4}}}\n",
+            opts.builtin,
+            workers,
+            opts.flood,
+            opts.requests,
+            elapsed.as_millis(),
+        );
+        (line, status)
+    } else {
+        (
+            format!(
+                "bench-serve: {} requests, {} workers, flood {} → ok {ok}, shed {shed}, \
+                 errors {errors} in {} ms ({rps:.1} req/s, shed rate {:.1}%)\n",
+                opts.requests,
+                workers,
+                opts.flood,
+                elapsed.as_millis(),
+                shed_rate * 100.0,
+            ),
+            status,
+        )
     }
 }
 

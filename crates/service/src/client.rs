@@ -7,11 +7,12 @@
 
 use crate::json::{self, Json};
 use crate::proto::{self, Request};
-use crate::server::{connect, parse_response, Endpoint, Stream};
+use crate::server::{connect, parse_response, Endpoint, RemoteFailure, Stream};
 use pv_core::checker::PvOutcome;
 use pv_core::memo::MemoStats;
 use std::fmt;
 use std::io::{self, BufReader, Write};
+use std::time::Duration;
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -20,6 +21,16 @@ pub enum ServiceError {
     Io(io::Error),
     /// The server answered `ok:false` with this message.
     Remote(String),
+    /// The server turned the request away for capacity reasons (`kind`
+    /// is `busy` or `draining`) — nothing is wrong with the request;
+    /// retrying elsewhere or later is legitimate. [`crate::MultiClient`]
+    /// treats this as a failover signal.
+    Unavailable {
+        /// The refusal kind (`busy`, `draining`).
+        kind: String,
+        /// The server's message.
+        msg: String,
+    },
     /// The server answered something unintelligible.
     Protocol(String),
 }
@@ -29,6 +40,9 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::Io(e) => write!(f, "transport error: {e}"),
             ServiceError::Remote(m) => write!(f, "server error: {m}"),
+            ServiceError::Unavailable { kind, msg } => {
+                write!(f, "server unavailable ({kind}): {msg}")
+            }
             ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
@@ -44,6 +58,22 @@ impl From<io::Error> for ServiceError {
 
 /// Result alias for client calls.
 pub type Result<T> = std::result::Result<T, ServiceError>;
+
+/// Maps a failed response to the right error flavour: unparsable lines
+/// are protocol errors, `kind: busy|draining` refusals are
+/// [`ServiceError::Unavailable`], everything else is a plain remote
+/// application error.
+fn map_failure(line: &str, fail: RemoteFailure) -> ServiceError {
+    if json::parse(line).is_err() {
+        return ServiceError::Protocol(fail.msg);
+    }
+    match fail.kind.as_deref() {
+        Some(kind @ ("busy" | "draining")) => {
+            ServiceError::Unavailable { kind: kind.to_owned(), msg: fail.msg }
+        }
+        _ => ServiceError::Remote(fail.msg),
+    }
+}
 
 /// Metadata returned by `LOAD`/`BUILTIN`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,20 +123,19 @@ impl Client {
         Ok(Client { reader: BufReader::new(connect(endpoint)?) })
     }
 
+    /// Deadline on response reads (`None` = wait forever). A client
+    /// facing a possibly-wedged server sets this so a failover decision
+    /// happens in bounded time.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(dur)
+    }
+
     fn round_trip(&mut self, req: &Request) -> Result<Json> {
         proto::write_request(self.reader.get_mut(), req)?;
         self.reader.get_mut().flush()?;
         let line = proto::read_line(&mut self.reader)?
             .ok_or_else(|| ServiceError::Protocol("server closed the connection".into()))?;
-        parse_response(&line).map_err(|m| {
-            // `ok:false` and unparsable responses arrive on the same
-            // channel; a JSON parse failure is a protocol error.
-            if json::parse(&line).is_ok() {
-                ServiceError::Remote(m)
-            } else {
-                ServiceError::Protocol(m)
-            }
-        })
+        parse_response(&line).map_err(|f| map_failure(&line, f))
     }
 
     /// Liveness probe.
@@ -196,13 +225,7 @@ impl Client {
         w.flush()?;
         let line = proto::read_line(&mut self.reader)?
             .ok_or_else(|| ServiceError::Protocol("server closed the connection".into()))?;
-        let v = parse_response(&line).map_err(|m| {
-            if json::parse(&line).is_ok() {
-                ServiceError::Remote(m)
-            } else {
-                ServiceError::Protocol(m)
-            }
-        })?;
+        let v = parse_response(&line).map_err(|f| map_failure(&line, f))?;
         Self::remote_check(&v)
     }
 

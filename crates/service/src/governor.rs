@@ -1,0 +1,315 @@
+//! Connection governance: the admission, deadline, and shedding policy
+//! that keeps a hostile or merely slow client from parking server
+//! resources forever.
+//!
+//! The [`Governor`] is deliberately dumb — a handful of atomic counters
+//! and two RAII permits. All *policy* lives in [`GovernorConfig`]; all
+//! *enforcement* lives in the server's accept and connection loops,
+//! which consult the governor at three choke points:
+//!
+//! 1. **Accept**: [`Governor::try_conn`] — over `max_connections` the
+//!    acceptor writes one clean `BUSY` error line and closes, so a
+//!    connection flood degrades into fast rejections, never a hang.
+//! 2. **Dispatch**: [`Governor::try_inflight`] — over `max_inflight`
+//!    a pool-bound request (`CHECK`/`CHECK_STREAM`/`BATCH`) is shed
+//!    with a `busy` app error while the connection stays usable.
+//! 3. **Deadlines**: the connection loop times the verb line under
+//!    `idle_timeout` and everything after it under `read_timeout`;
+//!    responses go out under `write_timeout`. A tripped deadline closes
+//!    the connection with its disposition logged.
+//!
+//! Every request (and every turned-away connection) emits one access-log
+//! line through [`LogSink`], so dispositions are observable — the fault
+//! tests assert on them rather than on timing.
+
+use crate::proto::Limits;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Where access-log lines go.
+#[derive(Debug, Clone)]
+pub enum LogSink {
+    /// Drop every line (the default — tests and benches stay quiet).
+    Null,
+    /// One line per request on stderr (`pvx serve --access-log`).
+    Stderr,
+    /// Append to a shared vector (tests assert on dispositions).
+    Memory(Arc<Mutex<Vec<String>>>),
+}
+
+impl LogSink {
+    /// A memory sink plus the buffer it appends to.
+    pub fn memory() -> (LogSink, Arc<Mutex<Vec<String>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        (LogSink::Memory(Arc::clone(&buf)), buf)
+    }
+
+    fn emit(&self, line: &str) {
+        match self {
+            LogSink::Null => {}
+            LogSink::Stderr => eprintln!("{line}"),
+            LogSink::Memory(buf) => buf.lock().unwrap().push(line.to_owned()),
+        }
+    }
+}
+
+/// Governance policy for one server. The defaults are generous enough
+/// that a well-behaved local client never notices them; a deployment
+/// fronting untrusted traffic dials them down per `pvx serve` flags.
+#[derive(Debug, Clone)]
+pub struct GovernorConfig {
+    /// Concurrent-connection cap; `0` = unlimited. Connections past the
+    /// cap get one `BUSY` error line and a close.
+    pub max_connections: usize,
+    /// Concurrent pool-bound requests (`CHECK`/`CHECK_STREAM`/`BATCH`);
+    /// `0` = unlimited. Requests past the cap are shed with a `busy`
+    /// app error; the connection survives.
+    pub max_inflight: usize,
+    /// How long a connection may sit between requests before it is
+    /// reaped. `None` = never.
+    pub idle_timeout: Option<Duration>,
+    /// How long one read inside a request (payload bytes, the next
+    /// stream chunk) may stall. `None` = forever.
+    pub read_timeout: Option<Duration>,
+    /// How long one response write may stall. `None` = forever.
+    pub write_timeout: Option<Duration>,
+    /// On `SHUTDOWN`, how long in-flight requests get to finish before
+    /// their connections are force-closed.
+    pub drain_deadline: Duration,
+    /// Request-size caps (per payload block, per request aggregate).
+    pub limits: Limits,
+    /// Access-log destination.
+    pub log: LogSink,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            max_connections: 1024,
+            max_inflight: 0,
+            idle_timeout: Some(Duration::from_secs(300)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            drain_deadline: Duration::from_secs(5),
+            limits: Limits::default(),
+            log: LogSink::Null,
+        }
+    }
+}
+
+/// Counter snapshot for `STATS` (the `"governance"` block).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GovernorSnapshot {
+    pub active: usize,
+    pub inflight: usize,
+    pub conns_shed: u64,
+    pub reqs_shed: u64,
+    pub timeouts: u64,
+    pub drains_forced: u64,
+}
+
+/// Shared enforcement state. Cheap to clone behind an `Arc`; the server
+/// holds one per listener.
+pub(crate) struct Governor {
+    pub(crate) config: GovernorConfig,
+    active: Arc<AtomicUsize>,
+    inflight: Arc<AtomicUsize>,
+    conns_shed: AtomicU64,
+    reqs_shed: AtomicU64,
+    timeouts: AtomicU64,
+    drains_forced: AtomicU64,
+}
+
+impl Governor {
+    pub(crate) fn new(config: GovernorConfig) -> Governor {
+        Governor {
+            config,
+            active: Arc::new(AtomicUsize::new(0)),
+            inflight: Arc::new(AtomicUsize::new(0)),
+            conns_shed: AtomicU64::new(0),
+            reqs_shed: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            drains_forced: AtomicU64::new(0),
+        }
+    }
+
+    /// Admit one connection, or refuse if at `max_connections`.
+    pub(crate) fn try_conn(&self) -> Option<ConnPermit> {
+        admit(&self.active, self.config.max_connections).map(ConnPermit).or_else(|| {
+            self.conns_shed.fetch_add(1, Ordering::Relaxed);
+            None
+        })
+    }
+
+    /// Admit one pool-bound request, or refuse if at `max_inflight`.
+    pub(crate) fn try_inflight(&self) -> Option<InflightPermit> {
+        admit(&self.inflight, self.config.max_inflight).map(InflightPermit).or_else(|| {
+            self.reqs_shed.fetch_add(1, Ordering::Relaxed);
+            None
+        })
+    }
+
+    pub(crate) fn active(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn note_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_drain_forced(&self) {
+        self.drains_forced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> GovernorSnapshot {
+        GovernorSnapshot {
+            active: self.active.load(Ordering::Acquire),
+            inflight: self.inflight.load(Ordering::Acquire),
+            conns_shed: self.conns_shed.load(Ordering::Relaxed),
+            reqs_shed: self.reqs_shed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            drains_forced: self.drains_forced.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One access-log line for a request (or an attempt at one).
+    /// `disposition` is the interesting column: `ok`, `app_error`,
+    /// `shed`, `idle_timeout`, `read_timeout`, `framing_error`.
+    pub(crate) fn log_request(&self, conn: u64, access: &Access<'_>, disposition: &str) {
+        if matches!(self.config.log, LogSink::Null) {
+            return;
+        }
+        self.config.log.emit(&format!(
+            "conn={conn} op={} handle={} bytes={} dur_us={} verdict={} disposition={disposition}",
+            access.op,
+            access.handle,
+            access.bytes,
+            access.dur.as_micros(),
+            access.verdict,
+        ));
+    }
+
+    /// One access-log line for a connection-level event with no request
+    /// context (`busy`, `draining`, `idle_timeout`, `drain_forced`).
+    pub(crate) fn log_event(&self, conn: u64, disposition: &str) {
+        self.log_request(conn, &Access::default(), disposition);
+    }
+}
+
+/// The per-request columns of one access-log line.
+pub(crate) struct Access<'a> {
+    /// Protocol verb (`CHECK`, `LOAD`, …).
+    pub op: &'a str,
+    /// DTD handle the request named, `-` if none.
+    pub handle: &'a str,
+    /// Payload bytes carried.
+    pub bytes: usize,
+    /// Wall time from verb line to response.
+    pub dur: Duration,
+    /// `pv`, `not-pv`, `error`, or `-`.
+    pub verdict: &'a str,
+}
+
+impl Default for Access<'_> {
+    fn default() -> Self {
+        Access { op: "-", handle: "-", bytes: 0, dur: Duration::ZERO, verdict: "-" }
+    }
+}
+
+/// Increment `counter` unless it is already at `cap` (`0` = no cap).
+/// Compare-and-swap loop so two racing accepts cannot both slip past
+/// the last slot.
+fn admit(counter: &Arc<AtomicUsize>, cap: usize) -> Option<Arc<AtomicUsize>> {
+    let mut cur = counter.load(Ordering::Acquire);
+    loop {
+        if cap != 0 && cur >= cap {
+            return None;
+        }
+        match counter.compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return Some(Arc::clone(counter)),
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// RAII slot in the connection count; dropping releases it.
+pub(crate) struct ConnPermit(Arc<AtomicUsize>);
+
+impl Drop for ConnPermit {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// RAII slot in the in-flight request count; dropping releases it.
+pub(crate) struct InflightPermit(Arc<AtomicUsize>);
+
+impl Drop for InflightPermit {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permits_enforce_caps_and_release_on_drop() {
+        let gov = Governor::new(GovernorConfig {
+            max_connections: 2,
+            max_inflight: 1,
+            ..GovernorConfig::default()
+        });
+        let a = gov.try_conn().unwrap();
+        let b = gov.try_conn().unwrap();
+        assert!(gov.try_conn().is_none());
+        assert_eq!(gov.snapshot().conns_shed, 1);
+        drop(a);
+        let _c = gov.try_conn().unwrap();
+        drop(b);
+        assert_eq!(gov.active(), 1);
+
+        let p = gov.try_inflight().unwrap();
+        assert!(gov.try_inflight().is_none());
+        assert_eq!(gov.snapshot().reqs_shed, 1);
+        drop(p);
+        assert!(gov.try_inflight().is_some());
+    }
+
+    #[test]
+    fn zero_caps_mean_unlimited() {
+        let gov = Governor::new(GovernorConfig {
+            max_connections: 0,
+            max_inflight: 0,
+            ..GovernorConfig::default()
+        });
+        let held: Vec<_> = (0..64).map(|_| gov.try_conn().unwrap()).collect();
+        assert_eq!(gov.active(), 64);
+        drop(held);
+        assert_eq!(gov.active(), 0);
+    }
+
+    #[test]
+    fn memory_sink_captures_dispositions() {
+        let (sink, buf) = LogSink::memory();
+        let gov = Governor::new(GovernorConfig { log: sink, ..GovernorConfig::default() });
+        let access = Access {
+            op: "CHECK",
+            handle: "d0",
+            bytes: 42,
+            dur: Duration::from_micros(9),
+            verdict: "pv",
+        };
+        gov.log_request(7, &access, "ok");
+        gov.log_event(8, "busy");
+        let lines = buf.lock().unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("conn=7"));
+        assert!(lines[0].contains("op=CHECK"));
+        assert!(lines[0].contains("disposition=ok"));
+        assert!(lines[1].contains("conn=8"));
+        assert!(lines[1].contains("disposition=busy"));
+    }
+}

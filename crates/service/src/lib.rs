@@ -46,9 +46,13 @@
 #![warn(missing_docs)]
 
 mod client;
+mod governor;
 pub mod json;
 pub mod proto;
+mod router;
 mod server;
 
 pub use client::{Client, LoadInfo, RemoteCheck, Result, ServiceError};
+pub use governor::{GovernorConfig, LogSink};
+pub use router::{DtdSpec, MultiClient, MultiLoad, RouterConfig};
 pub use server::{Endpoint, Server, ServerHandle};

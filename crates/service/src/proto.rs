@@ -54,6 +54,44 @@ pub const MAX_PAYLOAD: usize = 64 << 20;
 /// request could demand `count × MAX_PAYLOAD`).
 pub const MAX_REQUEST_BYTES: usize = 256 << 20;
 
+/// Per-server request-size limits. The constants above are the
+/// defaults; a deployment fronting untrusted clients dials them down
+/// (`pvx serve --max-payload/--max-request`, or
+/// [`crate::GovernorConfig::limits`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Cap on one payload block (a document, a DTD source, one stream
+    /// chunk).
+    pub max_payload: usize,
+    /// Cap on one request's aggregate bytes (`BATCH` documents summed,
+    /// `CHECK_STREAM` chunks summed).
+    pub max_request: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_payload: MAX_PAYLOAD, max_request: MAX_REQUEST_BYTES }
+    }
+}
+
+/// How reading a payload block or chunk failed. Transport errors keep
+/// their [`io::Error`] (the server distinguishes a read **timeout** — a
+/// governance disposition — from a framing violation); everything else
+/// is a framing error that poisons the payload boundary.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The underlying transport failed (timeout, reset, …).
+    Io(io::Error),
+    /// The bytes on the wire violate the framing.
+    Frame(String),
+}
+
+impl ReadError {
+    fn frame(msg: impl Into<String>) -> ReadError {
+        ReadError::Frame(msg.into())
+    }
+}
+
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -142,53 +180,62 @@ pub fn write_block(w: &mut impl Write, bytes: &[u8]) -> io::Result<()> {
     w.write_all(bytes)
 }
 
-/// Reads one length-prefixed payload block as UTF-8 text.
-pub fn read_block(r: &mut impl BufRead) -> Result<String, String> {
+/// Reads one length-prefixed payload block as UTF-8 text, bounded by
+/// `max_payload`.
+pub fn read_block(r: &mut impl BufRead, max_payload: usize) -> Result<String, ReadError> {
     let line = match read_line(r) {
         Ok(Some(l)) => l,
-        Ok(None) => return Err("eof before payload length".into()),
-        Err(e) => return Err(e.to_string()),
+        Ok(None) => return Err(ReadError::frame("eof before payload length")),
+        Err(e) => return Err(ReadError::Io(e)),
     };
-    let len: usize = line.trim().parse().map_err(|_| format!("bad payload length {line:?}"))?;
-    if len > MAX_PAYLOAD {
-        return Err(format!("payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte limit"));
+    let len: usize = line
+        .trim()
+        .parse()
+        .map_err(|_| ReadError::Frame(format!("bad payload length {line:?}")))?;
+    if len > max_payload {
+        return Err(ReadError::Frame(format!(
+            "payload of {len} bytes exceeds the {max_payload}-byte limit"
+        )));
     }
     // Read incrementally (`take` + `read_to_end`): memory grows with the
     // bytes that actually arrive, so a client *claiming* a huge payload
-    // and then stalling cannot make the server pre-allocate it. (A
-    // stalled connection still parks its thread — connection timeouts
-    // are part of the service-hardening ROADMAP item.)
+    // and then stalling cannot make the server pre-allocate it.
     let mut buf = Vec::new();
     match r.take(len as u64).read_to_end(&mut buf) {
         Ok(n) if n == len => {}
-        Ok(n) => return Err(format!("short payload: got {n} of {len} bytes")),
-        Err(e) => return Err(format!("short payload: {e}")),
+        Ok(n) => return Err(ReadError::Frame(format!("short payload: got {n} of {len} bytes"))),
+        Err(e) => return Err(ReadError::Io(e)),
     }
-    String::from_utf8(buf).map_err(|_| "payload is not UTF-8".into())
+    String::from_utf8(buf).map_err(|_| ReadError::frame("payload is not UTF-8"))
 }
 
 /// Reads one raw chunk of a `CHECK_STREAM` body: `Ok(Some(bytes))` for a
 /// data chunk, `Ok(None)` for the zero-length terminator. Unlike
 /// [`read_block`], chunks are raw bytes — a boundary may split a UTF-8
 /// sequence (the streaming lexer reassembles it).
-pub fn read_chunk(r: &mut impl BufRead) -> Result<Option<Vec<u8>>, String> {
+pub fn read_chunk(r: &mut impl BufRead, max_payload: usize) -> Result<Option<Vec<u8>>, ReadError> {
     let line = match read_line(r) {
         Ok(Some(l)) => l,
-        Ok(None) => return Err("eof before chunk length".into()),
-        Err(e) => return Err(e.to_string()),
+        Ok(None) => return Err(ReadError::frame("eof before chunk length")),
+        Err(e) => return Err(ReadError::Io(e)),
     };
-    let len: usize = line.trim().parse().map_err(|_| format!("bad chunk length {line:?}"))?;
+    let len: usize = line
+        .trim()
+        .parse()
+        .map_err(|_| ReadError::Frame(format!("bad chunk length {line:?}")))?;
     if len == 0 {
         return Ok(None);
     }
-    if len > MAX_PAYLOAD {
-        return Err(format!("chunk of {len} bytes exceeds the {MAX_PAYLOAD}-byte limit"));
+    if len > max_payload {
+        return Err(ReadError::Frame(format!(
+            "chunk of {len} bytes exceeds the {max_payload}-byte limit"
+        )));
     }
     let mut buf = Vec::new();
     match r.take(len as u64).read_to_end(&mut buf) {
         Ok(n) if n == len => Ok(Some(buf)),
-        Ok(n) => Err(format!("short chunk: got {n} of {len} bytes")),
-        Err(e) => Err(format!("short chunk: {e}")),
+        Ok(n) => Err(ReadError::Frame(format!("short chunk: got {n} of {len} bytes"))),
+        Err(e) => Err(ReadError::Io(e)),
     }
 }
 
@@ -209,12 +256,29 @@ fn parse_kv(args: &[&str], key: &str) -> Result<Option<u64>, String> {
     Ok(None)
 }
 
-/// Reads and parses one request from the stream.
+/// Reads and parses one request from the stream, under the default
+/// [`Limits`].
 pub fn read_request(r: &mut impl BufRead) -> io::Result<Frame> {
+    read_request_limited(r, &Limits::default())
+}
+
+/// Reads and parses one request from the stream under explicit limits.
+pub fn read_request_limited(r: &mut impl BufRead, limits: &Limits) -> io::Result<Frame> {
     let line = match read_line(r)? {
         None => return Ok(Frame::Eof),
         Some(l) => l,
     };
+    finish_request(&line, r, limits)
+}
+
+/// Parses an already-read verb line and consumes any payload blocks it
+/// announces. Split from [`read_request`] so a server can read the verb
+/// line under an **idle** timeout and the payload under a (tighter)
+/// **read** timeout: the gap between requests is idleness, the gap
+/// inside one is a slow or stalled client. Transport errors (including
+/// timeouts) propagate as `Err`; framing violations become
+/// [`Frame::Bad`].
+pub fn finish_request(line: &str, r: &mut impl BufRead, limits: &Limits) -> io::Result<Frame> {
     let parts: Vec<&str> = line.split_whitespace().collect();
     let bad = |msg: String| Ok(Frame::Bad(msg));
     let Some((&verb, args)) = parts.split_first() else {
@@ -236,11 +300,12 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Frame> {
             let [root] = args else {
                 return bad("LOAD takes exactly one root name".into());
             };
-            match read_block(r) {
+            match read_block(r, limits.max_payload) {
                 Ok(source) => {
                     Ok(Frame::Req(Request::Load { root: (*root).to_owned(), source }))
                 }
-                Err(e) => bad(e),
+                Err(ReadError::Frame(e)) => bad(e),
+                Err(ReadError::Io(e)) => Err(e),
             }
         }
         "CHECK" => {
@@ -255,14 +320,15 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Frame> {
                 Ok(v) => v.unwrap_or(1) != 0,
                 Err(e) => return bad(e),
             };
-            match read_block(r) {
+            match read_block(r, limits.max_payload) {
                 Ok(xml) => Ok(Frame::Req(Request::Check {
                     handle: handle.to_owned(),
                     jobs,
                     memo,
                     xml,
                 })),
-                Err(e) => bad(e),
+                Err(ReadError::Frame(e)) => bad(e),
+                Err(ReadError::Io(e)) => Err(e),
             }
         }
         "CHECK_STREAM" => match args {
@@ -292,17 +358,19 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Frame> {
             let mut xmls = Vec::with_capacity(count.min(1024));
             let mut total = 0usize;
             for _ in 0..count {
-                match read_block(r) {
+                match read_block(r, limits.max_payload) {
                     Ok(xml) => {
                         total += xml.len();
-                        if total > MAX_REQUEST_BYTES {
+                        if total > limits.max_request {
                             return bad(format!(
-                                "batch exceeds the {MAX_REQUEST_BYTES}-byte aggregate limit"
+                                "batch exceeds the {}-byte aggregate limit",
+                                limits.max_request
                             ));
                         }
                         xmls.push(xml);
                     }
-                    Err(e) => return bad(e),
+                    Err(ReadError::Frame(e)) => return bad(e),
+                    Err(ReadError::Io(e)) => return Err(e),
                 }
             }
             Ok(Frame::Req(Request::Batch { handle: handle.to_owned(), jobs, xmls }))
@@ -384,15 +452,21 @@ mod tests {
         write_block(&mut wire, &[0xE2]).unwrap(); // raw bytes: split UTF-8 is legal
         write_stream_end(&mut wire).unwrap();
         let mut r = BufReader::new(wire.as_slice());
-        assert_eq!(read_chunk(&mut r).unwrap().as_deref(), Some(b"<r><a>".as_slice()));
-        assert_eq!(read_chunk(&mut r).unwrap().as_deref(), Some([0xE2].as_slice()));
-        assert_eq!(read_chunk(&mut r).unwrap(), None);
+        let cap = MAX_PAYLOAD;
+        assert_eq!(read_chunk(&mut r, cap).unwrap().as_deref(), Some(b"<r><a>".as_slice()));
+        assert_eq!(read_chunk(&mut r, cap).unwrap().as_deref(), Some([0xE2].as_slice()));
+        assert_eq!(read_chunk(&mut r, cap).unwrap(), None);
         // Truncated chunk and oversized chunk are framing errors.
         let mut r = BufReader::new("12\nshort".as_bytes());
-        assert!(read_chunk(&mut r).is_err());
+        assert!(matches!(read_chunk(&mut r, cap), Err(ReadError::Frame(_))));
         let wire = format!("{}\n", MAX_PAYLOAD + 1);
         let mut r = BufReader::new(wire.as_bytes());
-        assert!(read_chunk(&mut r).is_err());
+        assert!(matches!(read_chunk(&mut r, cap), Err(ReadError::Frame(_))));
+        // A tighter per-server limit bites before the default would.
+        let mut wire = Vec::new();
+        write_block(&mut wire, b"0123456789abcdef").unwrap();
+        let mut r = BufReader::new(wire.as_slice());
+        assert!(matches!(read_chunk(&mut r, 8), Err(ReadError::Frame(_))));
     }
 
     #[test]
@@ -412,5 +486,33 @@ mod tests {
         let wire = format!("CHECK d0\n{}\n", MAX_PAYLOAD + 1);
         let mut r = BufReader::new(wire.as_bytes());
         assert!(matches!(read_request(&mut r).unwrap(), Frame::Bad(_)));
+    }
+
+    #[test]
+    fn custom_limits_bite_before_defaults() {
+        let limits = Limits { max_payload: 8, max_request: 12 };
+        // A 9-byte CHECK payload is fine by default but over this cap.
+        let mut wire = Vec::new();
+        write_request(
+            &mut wire,
+            &Request::Check { handle: "d0".into(), jobs: 1, memo: true, xml: "<r>xx</r>".into() },
+        )
+        .unwrap();
+        let mut r = BufReader::new(wire.as_slice());
+        assert!(matches!(read_request_limited(&mut r, &limits).unwrap(), Frame::Bad(_)));
+        // Two 7-byte batch documents clear max_payload but trip the
+        // 12-byte aggregate.
+        let mut wire = Vec::new();
+        write_request(
+            &mut wire,
+            &Request::Batch {
+                handle: "d0".into(),
+                jobs: 0,
+                xmls: vec!["<r>12</".into(), "<r>34</".into()],
+            },
+        )
+        .unwrap();
+        let mut r = BufReader::new(wire.as_slice());
+        assert!(matches!(read_request_limited(&mut r, &limits).unwrap(), Frame::Bad(_)));
     }
 }

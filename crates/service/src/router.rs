@@ -1,0 +1,507 @@
+//! Multi-backend routing: one client face over N `pv-service` backends.
+//!
+//! [`MultiClient`] consistent-hashes **DTD keys** (not documents) across
+//! backends, so every check for a given DTD lands on the server whose
+//! shape cache is warm for it. The ring is seeded and hashed by backend
+//! *index*, which makes routing a pure function of `(seed, backend
+//! count, key)` — restarting a backend on a new port does not reshuffle
+//! the ring, and tests can predict placement exactly.
+//!
+//! `LOAD`s are replicated to the next `replicas - 1` ring successors, so
+//! a failover target usually already holds the DTD; if it does not, the
+//! handle is (re)loaded on demand from the registered [`DtdSpec`] — the
+//! server's content-interning makes that idempotent. Failover triggers
+//! on transport errors, protocol corruption, and `busy`/`draining`
+//! refusals ([`crate::ServiceError::Unavailable`]); plain application
+//! errors (unknown builtin, malformed document) are deterministic
+//! answers and never failover. A failed backend is quarantined with
+//! capped exponential backoff and re-admitted after it cools down —
+//! unless every backend is down, in which case quarantine is ignored
+//! and each is retried once more (the capped-backoff retry of last
+//! resort).
+//!
+//! `PvOutcome` bit-identity holds across all of this: the fault suite
+//! compares direct, single-remote, and multi-backend-with-a-dead-backend
+//! answers bit-for-bit.
+
+use crate::client::{Client, LoadInfo, RemoteCheck, Result, ServiceError};
+use crate::server::Endpoint;
+use pv_core::checker::PvOutcome;
+use std::collections::HashMap;
+use std::io;
+use std::time::{Duration, Instant};
+
+/// Routing policy for a [`MultiClient`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Hash seed: fixes ring placement (tests pin it for determinism).
+    pub seed: u64,
+    /// Virtual nodes per backend on the ring — more vnodes, smoother key
+    /// spread.
+    pub vnodes: usize,
+    /// How many backends receive each `LOAD` (primary + successors).
+    pub replicas: usize,
+    /// First quarantine period after a failure; doubles per consecutive
+    /// failure.
+    pub backoff_base: Duration,
+    /// Quarantine ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            seed: 0x7076_726f_7574_6572, // "pvrouter"
+            vnodes: 32,
+            replicas: 2,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
+}
+
+/// What to load when a backend is missing a DTD: the client-side recipe
+/// behind a routing key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DtdSpec {
+    /// A built-in DTD by name.
+    Builtin(String),
+    /// A DTD from source text.
+    Load {
+        /// The designated root element.
+        root: String,
+        /// DTD source text.
+        source: String,
+    },
+}
+
+impl DtdSpec {
+    /// The routing key — the same content key the server interns under,
+    /// so two clients registering the same DTD route identically.
+    pub fn key(&self) -> String {
+        match self {
+            DtdSpec::Builtin(name) => format!("builtin\u{0}{name}"),
+            DtdSpec::Load { root, source } => format!("load\u{0}{root}\u{0}{source}"),
+        }
+    }
+}
+
+/// A successful multi-backend load: the routing key for later checks
+/// plus the primary's load metadata.
+#[derive(Debug, Clone)]
+pub struct MultiLoad {
+    /// Pass this to [`MultiClient::check`] and friends.
+    pub key: String,
+    /// Metadata from the first backend that accepted the load.
+    pub info: LoadInfo,
+}
+
+struct Backend {
+    addr: String,
+    endpoint: Endpoint,
+    conn: Option<Client>,
+    /// key → this backend's handle for it.
+    handles: HashMap<String, String>,
+    strikes: u32,
+    dead_until: Option<Instant>,
+    served: u64,
+}
+
+impl Backend {
+    fn quarantined(&self, now: Instant) -> bool {
+        self.dead_until.is_some_and(|t| t > now)
+    }
+}
+
+/// One client face over N backends: consistent-hash routing, replicated
+/// loads, capped-backoff failover (module docs).
+pub struct MultiClient {
+    config: RouterConfig,
+    backends: Vec<Backend>,
+    /// Sorted `(point, backend index)` ring.
+    ring: Vec<(u64, usize)>,
+    /// key → how to (re)load it on a backend that lacks it.
+    specs: HashMap<String, DtdSpec>,
+    /// key → backend index that served it last (telemetry).
+    last_backend: HashMap<String, usize>,
+    reroutes: u64,
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn hash_str(seed: u64, s: &str) -> u64 {
+    let mut h = splitmix64(seed);
+    for &b in s.as_bytes() {
+        h = splitmix64(h ^ u64::from(b));
+    }
+    h
+}
+
+impl MultiClient {
+    /// Builds a router over `addrs` (each parsed per
+    /// [`Endpoint::parse`]). No connection is attempted yet — backends
+    /// connect lazily on first use, so a dead backend at construction
+    /// costs nothing until (and unless) a key routes to it.
+    pub fn new(addrs: &[String], config: RouterConfig) -> MultiClient {
+        let backends: Vec<Backend> = addrs
+            .iter()
+            .map(|a| Backend {
+                addr: a.clone(),
+                endpoint: Endpoint::parse(a),
+                conn: None,
+                handles: HashMap::new(),
+                strikes: 0,
+                dead_until: None,
+                served: 0,
+            })
+            .collect();
+        let mut ring = Vec::with_capacity(backends.len() * config.vnodes.max(1));
+        for i in 0..backends.len() {
+            for v in 0..config.vnodes.max(1) {
+                let point = splitmix64(config.seed ^ ((i as u64) << 32) ^ v as u64);
+                ring.push((point, i));
+            }
+        }
+        ring.sort_unstable();
+        MultiClient {
+            config,
+            backends,
+            ring,
+            specs: HashMap::new(),
+            last_backend: HashMap::new(),
+            reroutes: 0,
+        }
+    }
+
+    /// The backend order a key prefers: ring successors of its hash
+    /// point, distinct, every backend listed exactly once.
+    fn preference(&self, key: &str) -> Vec<usize> {
+        let n = self.backends.len();
+        let mut order = Vec::with_capacity(n);
+        if self.ring.is_empty() {
+            return order;
+        }
+        let h = hash_str(self.config.seed, key);
+        let start = self.ring.partition_point(|&(p, _)| p < h);
+        for step in 0..self.ring.len() {
+            let (_, b) = self.ring[(start + step) % self.ring.len()];
+            if !order.contains(&b) {
+                order.push(b);
+                if order.len() == n {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The backend index a key routes to first (ignoring liveness).
+    pub fn primary_of(&self, key: &str) -> Option<usize> {
+        self.preference(key).first().copied()
+    }
+
+    /// The backend index that actually served the key's last request.
+    pub fn last_backend(&self, key: &str) -> Option<usize> {
+        self.last_backend.get(key).copied()
+    }
+
+    /// How many requests were served away from the backend that served
+    /// the key previously (failover events).
+    pub fn reroutes(&self) -> u64 {
+        self.reroutes
+    }
+
+    /// Backend addresses, in index order.
+    pub fn addrs(&self) -> Vec<&str> {
+        self.backends.iter().map(|b| b.addr.as_str()).collect()
+    }
+
+    /// Requests served per backend, in index order.
+    pub fn served(&self) -> Vec<u64> {
+        self.backends.iter().map(|b| b.served).collect()
+    }
+
+    fn mark_failure(&mut self, i: usize) {
+        let b = &mut self.backends[i];
+        b.conn = None;
+        b.handles.clear(); // the server may have restarted; re-load on recovery
+        b.strikes = b.strikes.saturating_add(1);
+        let backoff = self
+            .config
+            .backoff_base
+            .saturating_mul(1u32 << (b.strikes - 1).min(16))
+            .min(self.config.backoff_cap);
+        b.dead_until = Some(Instant::now() + backoff);
+    }
+
+    fn mark_success(&mut self, i: usize, key: &str) {
+        let b = &mut self.backends[i];
+        b.strikes = 0;
+        b.dead_until = None;
+        b.served += 1;
+        if let Some(prev) = self.last_backend.insert(key.to_owned(), i) {
+            if prev != i {
+                self.reroutes += 1;
+            }
+        }
+    }
+
+    /// Connects (if needed) and ensures the backend holds the key's DTD,
+    /// returning its handle.
+    fn ensure_handle(&mut self, i: usize, key: &str, spec: &DtdSpec) -> Result<String> {
+        if self.backends[i].conn.is_none() {
+            let conn = Client::connect_endpoint(&self.backends[i].endpoint)?;
+            self.backends[i].conn = Some(conn);
+        }
+        if let Some(h) = self.backends[i].handles.get(key) {
+            return Ok(h.clone());
+        }
+        let client = self.backends[i].conn.as_mut().expect("connected above");
+        let info = match spec {
+            DtdSpec::Builtin(name) => client.load_builtin(name)?,
+            DtdSpec::Load { root, source } => client.load_dtd(root, source)?,
+        };
+        self.backends[i].handles.insert(key.to_owned(), info.handle.clone());
+        Ok(info.handle)
+    }
+
+    /// Runs `f` against the key's preferred backend, failing over along
+    /// the ring on transport/protocol/unavailability errors. Application
+    /// errors are answers and return immediately.
+    fn with_failover<T>(
+        &mut self,
+        key: &str,
+        mut f: impl FnMut(&mut Client, &str) -> Result<T>,
+    ) -> Result<T> {
+        let spec = self
+            .specs
+            .get(key)
+            .cloned()
+            .ok_or_else(|| ServiceError::Remote(format!("unregistered DTD key {key:?}")))?;
+        let order = self.preference(key);
+        if order.is_empty() {
+            return Err(ServiceError::Io(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "no backends configured",
+            )));
+        }
+        let now = Instant::now();
+        let all_quarantined = order.iter().all(|&i| self.backends[i].quarantined(now));
+        let mut last_err = None;
+        for &i in &order {
+            // Skip cooling-off backends — unless everyone is down, in
+            // which case each gets one more chance (retry of last
+            // resort; success clears the quarantine).
+            if !all_quarantined && self.backends[i].quarantined(now) {
+                continue;
+            }
+            let attempt = self.ensure_handle(i, key, &spec).and_then(|handle| {
+                let client = self.backends[i].conn.as_mut().expect("connected");
+                f(client, &handle)
+            });
+            match attempt {
+                Ok(v) => {
+                    self.mark_success(i, key);
+                    return Ok(v);
+                }
+                Err(e @ (ServiceError::Io(_)
+                | ServiceError::Protocol(_)
+                | ServiceError::Unavailable { .. })) => {
+                    self.mark_failure(i);
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            ServiceError::Io(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "all backends are quarantined",
+            ))
+        }))
+    }
+
+    /// Registers a spec and loads it on its primary plus `replicas - 1`
+    /// ring successors. Succeeds if at least one backend accepted it;
+    /// replica failures only quarantine the replica.
+    fn load(&mut self, spec: DtdSpec) -> Result<MultiLoad> {
+        let key = spec.key();
+        self.specs.insert(key.clone(), spec.clone());
+        let order = self.preference(&key);
+        let now = Instant::now();
+        let mut first: Option<LoadInfo> = None;
+        let mut last_err = None;
+        let want = self.config.replicas.max(1);
+        let mut placed = 0usize;
+        for &i in &order {
+            if placed >= want {
+                break;
+            }
+            if first.is_some() && self.backends[i].quarantined(now) {
+                continue; // replicas are best-effort; the primary answer is in
+            }
+            match self.ensure_handle(i, &key, &spec) {
+                Ok(handle) => {
+                    placed += 1;
+                    if first.is_none() {
+                        // Fetch full metadata from the first taker: the
+                        // handle alone is not enough for `MultiLoad`.
+                        let client = self.backends[i].conn.as_mut().expect("connected");
+                        let info = match &spec {
+                            DtdSpec::Builtin(name) => client.load_builtin(name),
+                            DtdSpec::Load { root, source } => client.load_dtd(root, source),
+                        };
+                        match info {
+                            Ok(info) => {
+                                debug_assert_eq!(info.handle, handle);
+                                self.mark_success(i, &key);
+                                first = Some(info);
+                            }
+                            Err(e @ (ServiceError::Io(_)
+                            | ServiceError::Protocol(_)
+                            | ServiceError::Unavailable { .. })) => {
+                                placed -= 1;
+                                self.mark_failure(i);
+                                last_err = Some(e);
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                Err(e @ (ServiceError::Io(_)
+                | ServiceError::Protocol(_)
+                | ServiceError::Unavailable { .. })) => {
+                    self.mark_failure(i);
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        match first {
+            Some(info) => Ok(MultiLoad { key, info }),
+            None => Err(last_err.unwrap_or_else(|| {
+                ServiceError::Io(io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    "no backends configured",
+                ))
+            })),
+        }
+    }
+
+    /// Loads a built-in DTD across the ring (replicated placement and
+    /// failover semantics are on the module docs).
+    pub fn load_builtin(&mut self, name: &str) -> Result<MultiLoad> {
+        self.load(DtdSpec::Builtin(name.to_owned()))
+    }
+
+    /// Loads a DTD from source across the ring.
+    pub fn load_dtd(&mut self, root: &str, source: &str) -> Result<MultiLoad> {
+        self.load(DtdSpec::Load { root: root.to_owned(), source: source.to_owned() })
+    }
+
+    /// Checks one document on the key's backend (with failover); the
+    /// outcome is bit-identical to a single-backend or in-process check.
+    pub fn check(&mut self, key: &str, xml: &str, jobs: usize, memo: bool) -> Result<RemoteCheck> {
+        self.with_failover(key, |client, handle| client.check(handle, xml, jobs, memo))
+    }
+
+    /// Streams one document in `chunk`-byte pieces (`CHECK_STREAM`).
+    pub fn check_stream(&mut self, key: &str, data: &[u8], chunk: usize) -> Result<RemoteCheck> {
+        let chunk = chunk.max(1);
+        self.with_failover(key, |client, handle| client.check_stream(handle, data.chunks(chunk)))
+    }
+
+    /// Checks a batch on the key's backend (with failover).
+    pub fn check_batch(&mut self, key: &str, xmls: &[String], jobs: usize) -> Result<Vec<PvOutcome>> {
+        self.with_failover(key, |client, handle| client.check_batch(handle, xmls, jobs))
+    }
+
+    /// Asks every reachable backend to shut down (best-effort).
+    pub fn shutdown_all(&mut self) {
+        for b in &mut self.backends {
+            let mut conn = b.conn.take();
+            if conn.is_none() {
+                conn = Client::connect_endpoint(&b.endpoint).ok();
+            }
+            if let Some(mut c) = conn {
+                let _ = c.shutdown();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router(n: usize, seed: u64) -> MultiClient {
+        let addrs: Vec<String> = (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect();
+        MultiClient::new(&addrs, RouterConfig { seed, ..RouterConfig::default() })
+    }
+
+    #[test]
+    fn preference_is_deterministic_and_complete() {
+        let mc = router(5, 42);
+        for key in ["builtin\u{0}play", "builtin\u{0}figure1", "load\u{0}r\u{0}<!ELEMENT r EMPTY>"] {
+            let a = mc.preference(key);
+            let b = mc.preference(key);
+            assert_eq!(a, b);
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "every backend appears once for {key:?}");
+        }
+        // Same seed, fresh router: identical placement.
+        let mc2 = router(5, 42);
+        assert_eq!(mc.preference("builtin\u{0}play"), mc2.preference("builtin\u{0}play"));
+    }
+
+    #[test]
+    fn seeds_shuffle_placement() {
+        // Not a strict requirement of any single key, but across many
+        // keys two seeds must not agree everywhere.
+        let a = router(4, 1);
+        let b = router(4, 2);
+        let keys: Vec<String> = (0..32).map(|i| format!("k{i}")).collect();
+        assert!(keys.iter().any(|k| a.preference(k) != b.preference(k)));
+    }
+
+    #[test]
+    fn keys_spread_over_backends() {
+        let mc = router(4, 7);
+        let mut hit = [false; 4];
+        for i in 0..64 {
+            hit[mc.primary_of(&format!("key-{i}")).unwrap()] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "64 keys should touch all 4 backends: {hit:?}");
+    }
+
+    #[test]
+    fn spec_keys_match_server_interning() {
+        assert_eq!(DtdSpec::Builtin("play".into()).key(), "builtin\u{0}play");
+        assert_eq!(
+            DtdSpec::Load { root: "r".into(), source: "<!ELEMENT r EMPTY>".into() }.key(),
+            "load\u{0}r\u{0}<!ELEMENT r EMPTY>"
+        );
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let mut mc = router(1, 3);
+        let base = mc.config.backoff_base;
+        let cap = mc.config.backoff_cap;
+        mc.mark_failure(0);
+        let d1 = mc.backends[0].dead_until.unwrap() - Instant::now();
+        assert!(d1 <= base);
+        for _ in 0..20 {
+            mc.mark_failure(0);
+        }
+        let d = mc.backends[0].dead_until.unwrap() - Instant::now();
+        assert!(d <= cap, "{d:?} > {cap:?}");
+        assert!(d > cap / 2, "{d:?} not near the cap");
+    }
+}

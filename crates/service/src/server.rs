@@ -16,8 +16,9 @@
 //! handle — with its warm cache — for the same input, so reconnecting
 //! clients keep hitting the cache they warmed.
 
+use crate::governor::{Access, ConnPermit, Governor, GovernorConfig, InflightPermit};
 use crate::json::{self, Json};
-use crate::proto::{self, Frame, Request};
+use crate::proto::{self, Frame, ReadError, Request};
 use pv_core::engine::CheckEngine;
 use pv_core::recognizer::RecognizerStats;
 use pv_dtd::builtin::BuiltinDtd;
@@ -26,13 +27,13 @@ use pv_par::Pool;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{self, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Where a server listens (and a client connects).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,6 +102,54 @@ impl io::Write for Stream {
     }
 }
 
+impl Stream {
+    /// A second handle on the same socket. Socket options set through
+    /// either handle apply to both — the connection loop keeps one in a
+    /// registry so a draining server can sever a parked connection that
+    /// is blocked inside a read elsewhere.
+    pub(crate) fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    /// Deadline on blocking reads (`None` = wait forever). Timed-out
+    /// reads fail with `WouldBlock`/`TimedOut`.
+    pub(crate) fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(dur),
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Deadline on blocking writes (`None` = wait forever).
+    pub(crate) fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_write_timeout(dur),
+            Stream::Tcp(s) => s.set_write_timeout(dur),
+        }
+    }
+
+    /// Severs both directions; a thread blocked reading this socket
+    /// observes EOF and unwinds.
+    pub(crate) fn shutdown_both(&self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.shutdown(Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(Shutdown::Both),
+        }
+    }
+}
+
+/// `true` for the error kinds a tripped socket deadline produces.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
 /// Connects a [`Stream`] to an endpoint (shared by the client and the
 /// server's own shutdown wake-up).
 pub(crate) fn connect(endpoint: &Endpoint) -> io::Result<Stream> {
@@ -112,7 +161,15 @@ pub(crate) fn connect(endpoint: &Endpoint) -> io::Result<Stream> {
             io::ErrorKind::Unsupported,
             "unix sockets are not available on this platform",
         )),
-        Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str()).map(Stream::Tcp),
+        Endpoint::Tcp(addr) => {
+            let s = TcpStream::connect(addr.as_str())?;
+            // Request/response framing means every write should go out
+            // now; Nagle + delayed ACK otherwise adds ~40ms per round
+            // trip when the verb line and payload land in separate
+            // segments.
+            s.set_nodelay(true)?;
+            Ok(Stream::Tcp(s))
+        }
     }
 }
 
@@ -127,7 +184,21 @@ impl Listener {
         match self {
             #[cfg(unix)]
             Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
-            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
+        }
+    }
+
+    /// Nonblocking accepts — the drain loop polls instead of parking, so
+    /// it can honour the drain deadline while still answering late
+    /// arrivals with a clean `DRAINING` error.
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
         }
     }
 }
@@ -138,9 +209,20 @@ struct DtdEntry {
     label: String,
 }
 
+/// A connection's control block: a second socket handle (to sever it
+/// from outside) plus whether it is mid-request.
+struct ConnCtl {
+    ctl: Stream,
+    busy: Arc<AtomicBool>,
+}
+
 /// Shared server state.
 struct ServiceState {
     pool: Pool,
+    /// Admission control, deadlines, shedding counters, access log.
+    gov: Governor,
+    /// Live connections by id — the drain path severs these.
+    conns: Mutex<HashMap<u64, ConnCtl>>,
     /// handle → entry.
     dtds: RwLock<HashMap<String, Arc<DtdEntry>>>,
     /// full key material → handle (the idempotence map). Keyed by the
@@ -224,7 +306,8 @@ impl ServerHandle {
     }
 
     /// Stops accepting connections and joins the acceptor. In-flight
-    /// connections finish their current requests and close on their own.
+    /// requests get until the configured drain deadline to finish; idle
+    /// connections are severed immediately.
     pub fn shutdown(self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
         let _ = connect(&self.state.endpoint); // wake the blocking accept
@@ -245,8 +328,18 @@ pub struct Server;
 
 impl Server {
     /// Binds and starts serving in background threads. `jobs` sizes the
-    /// persistent pool (`0` = one worker per CPU).
+    /// persistent pool (`0` = one worker per CPU). Governance runs with
+    /// [`GovernorConfig::default`].
     pub fn bind(endpoint: &Endpoint, jobs: usize) -> io::Result<ServerHandle> {
+        Self::bind_with(endpoint, jobs, GovernorConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit governance policy.
+    pub fn bind_with(
+        endpoint: &Endpoint,
+        jobs: usize,
+        config: GovernorConfig,
+    ) -> io::Result<ServerHandle> {
         let (listener, endpoint) = match endpoint {
             #[cfg(unix)]
             Endpoint::Unix(path) => {
@@ -280,6 +373,8 @@ impl Server {
         };
         let state = Arc::new(ServiceState {
             pool: Pool::new(jobs),
+            gov: Governor::new(config),
+            conns: Mutex::new(HashMap::new()),
             dtds: RwLock::new(HashMap::new()),
             interned: RwLock::new(HashMap::new()),
             next_handle: AtomicU64::new(0),
@@ -322,27 +417,92 @@ fn accept_loop(listener: &Listener, state: &Arc<ServiceState>) {
     let mut conn_id = 0u64;
     loop {
         if state.shutdown.load(Ordering::SeqCst) {
-            return;
+            break;
         }
         match listener.accept() {
-            Ok(stream) => {
+            Ok(mut stream) => {
                 if state.shutdown.load(Ordering::SeqCst) {
-                    return; // the wake-up connection itself
+                    // Either the SHUTDOWN handler's wake-up self-connect
+                    // or a real client racing shutdown — answer with a
+                    // clean refusal either way (the wake-up never reads
+                    // it), then drain. This closes the old
+                    // accepted-and-abandoned race.
+                    deny(&mut stream, state, "draining", "server is draining");
+                    break;
                 }
-                let state = Arc::clone(state);
                 conn_id += 1;
-                let _ = std::thread::Builder::new()
-                    .name(format!("pv-serve-conn-{conn_id}"))
-                    .spawn(move || {
-                        let _ = serve_connection(stream, &state);
-                    });
+                match state.gov.try_conn() {
+                    Some(permit) => {
+                        let state = Arc::clone(state);
+                        let _ = std::thread::Builder::new()
+                            .name(format!("pv-serve-conn-{conn_id}"))
+                            .spawn(move || {
+                                let _ = serve_connection(stream, &state, conn_id, permit);
+                            });
+                    }
+                    None => {
+                        // At max_connections: one clean BUSY line, close.
+                        // Never a hang, never a silent drop.
+                        state.gov.log_event(conn_id, "busy");
+                        deny(&mut stream, state, "busy", "server is at its connection limit");
+                    }
+                }
             }
             Err(_) => {
                 if state.shutdown.load(Ordering::SeqCst) {
-                    return;
+                    break;
                 }
                 // Transient accept error: keep serving.
             }
+        }
+    }
+    drain(listener, state);
+}
+
+/// Writes one structured refusal line and closes the connection (by
+/// dropping it). Bounded by the write timeout so a flooder who never
+/// reads cannot park the acceptor.
+fn deny(stream: &mut Stream, state: &Arc<ServiceState>, kind: &str, msg: &str) {
+    let _ = stream.set_write_timeout(
+        state.gov.config.write_timeout.or(Some(Duration::from_secs(5))),
+    );
+    let _ = respond(stream, err_response_kind(kind, msg));
+}
+
+/// Graceful drain: sever idle connections at once, give busy ones until
+/// the drain deadline, answer late arrivals with `DRAINING`, then force
+/// the stragglers.
+fn drain(listener: &Listener, state: &Arc<ServiceState>) {
+    let gov = &state.gov;
+    let deadline = Instant::now() + gov.config.drain_deadline;
+    let _ = listener.set_nonblocking(true);
+    {
+        let conns = state.conns.lock().unwrap();
+        for ctl in conns.values() {
+            if !ctl.busy.load(Ordering::SeqCst) {
+                let _ = ctl.ctl.shutdown_both();
+            }
+        }
+    }
+    while gov.active() > 0 && Instant::now() < deadline {
+        if let Ok(mut s) = listener.accept() {
+            deny(&mut s, state, "draining", "server is draining");
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    if gov.active() > 0 {
+        let conns = state.conns.lock().unwrap();
+        for (id, ctl) in conns.iter() {
+            gov.note_drain_forced();
+            gov.log_event(*id, "drain_forced");
+            let _ = ctl.ctl.shutdown_both();
+        }
+        drop(conns);
+        // Brief grace for the severed threads to observe EOF and release
+        // their permits; join() must stay bounded regardless.
+        let grace = Instant::now() + Duration::from_millis(500);
+        while gov.active() > 0 && Instant::now() < grace {
+            std::thread::sleep(Duration::from_millis(2));
         }
     }
 }
@@ -361,10 +521,108 @@ fn err_response(msg: &str) -> String {
     out
 }
 
-fn serve_connection(stream: Stream, state: &Arc<ServiceState>) -> io::Result<()> {
+/// An `ok:false` response with a machine-readable `kind` (`busy`,
+/// `draining`) so clients can tell "come back later" from "your request
+/// is wrong".
+fn err_response_kind(kind: &str, msg: &str) -> String {
+    let mut out = String::from("{\"ok\":false,\"kind\":\"");
+    out.push_str(kind); // fixed tokens only, no escaping needed
+    out.push_str("\",\"error\":");
+    json::write_str(&mut out, msg);
+    out.push('}');
+    out
+}
+
+/// The access-log verdict column, recovered from the response we just
+/// generated (trusted shape — no JSON parse needed).
+fn verdict_of(body: &str) -> &'static str {
+    if body.contains("\"potentially_valid\":true") {
+        "pv"
+    } else if body.contains("\"potentially_valid\":false") {
+        "not-pv"
+    } else if body.starts_with("{\"ok\":true") {
+        "-"
+    } else {
+        "error"
+    }
+}
+
+/// Registers the connection's control block, runs the request loop, and
+/// deregisters on any exit path.
+fn serve_connection(
+    stream: Stream,
+    state: &Arc<ServiceState>,
+    conn_id: u64,
+    permit: ConnPermit,
+) -> io::Result<()> {
+    let busy = Arc::new(AtomicBool::new(false));
+    if let Ok(ctl) = stream.try_clone() {
+        state
+            .conns
+            .lock()
+            .unwrap()
+            .insert(conn_id, ConnCtl { ctl, busy: Arc::clone(&busy) });
+    }
+    let res = connection_loop(stream, state, conn_id, &busy);
+    state.conns.lock().unwrap().remove(&conn_id);
+    drop(permit);
+    res
+}
+
+fn connection_loop(
+    stream: Stream,
+    state: &Arc<ServiceState>,
+    conn_id: u64,
+    busy: &AtomicBool,
+) -> io::Result<()> {
+    let gov = &state.gov;
+    let _ = stream.set_write_timeout(gov.config.write_timeout);
     let mut reader = BufReader::new(stream);
     loop {
-        let frame = proto::read_request(&mut reader)?;
+        busy.store(false, Ordering::SeqCst);
+        if state.shutdown.load(Ordering::SeqCst) {
+            // The server began draining between our requests.
+            gov.log_event(conn_id, "draining");
+            let _ = respond(reader.get_mut(), err_response_kind("draining", "server is draining"));
+            return Ok(());
+        }
+        // The gap between requests is idleness; the verb line read waits
+        // under the (long) idle deadline.
+        let _ = reader.get_ref().set_read_timeout(gov.config.idle_timeout);
+        let line = match proto::read_line(&mut reader) {
+            Ok(None) => return Ok(()), // clean EOF between requests
+            Ok(Some(l)) => l,
+            Err(e) if is_timeout(&e) => {
+                gov.note_timeout();
+                gov.log_event(conn_id, "idle_timeout");
+                return Ok(());
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Non-UTF-8 garbage where a verb line should be: same
+                // contract as any framing error — one reported refusal,
+                // then close.
+                gov.log_event(conn_id, "framing_error");
+                let _ = respond(reader.get_mut(), err_response("request line is not UTF-8"));
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        busy.store(true, Ordering::SeqCst);
+        let t0 = Instant::now();
+        let op = line.split_whitespace().next().unwrap_or("-").to_owned();
+        // Inside a request the clock tightens: payload bytes must keep
+        // arriving under the read deadline.
+        let _ = reader.get_ref().set_read_timeout(gov.config.read_timeout);
+        let frame = match proto::finish_request(&line, &mut reader, &gov.config.limits) {
+            Ok(f) => f,
+            Err(e) if is_timeout(&e) => {
+                gov.note_timeout();
+                let access = Access { op: &op, dur: t0.elapsed(), ..Access::default() };
+                gov.log_request(conn_id, &access, "read_timeout");
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
         if matches!(frame, Frame::Req(_)) {
             state.requests.fetch_add(1, Ordering::Relaxed);
         }
@@ -373,6 +631,8 @@ fn serve_connection(stream: Stream, state: &Arc<ServiceState>) -> io::Result<()>
             Frame::Bad(msg) => {
                 // A framing error poisons the payload boundary: report and
                 // close (module docs).
+                let access = Access { op: &op, dur: t0.elapsed(), ..Access::default() };
+                gov.log_request(conn_id, &access, "framing_error");
                 let _ = respond(reader.get_mut(), err_response(&msg));
                 return Ok(());
             }
@@ -380,11 +640,43 @@ fn serve_connection(stream: Stream, state: &Arc<ServiceState>) -> io::Result<()>
                 // The chunks are still on the wire: consume them here,
                 // feeding the streaming checker as they arrive, so the
                 // client's upload and the server's validation overlap.
-                match handle_check_stream(&mut reader, &handle, state)? {
-                    StreamBody::Done(body) => respond(reader.get_mut(), body)?,
-                    StreamBody::Abort(msg) => {
+                // The gap between chunks is idleness (a trickling client
+                // is fine); each read waits under the idle deadline.
+                let inflight = gov.try_inflight();
+                let shed = inflight.is_none();
+                let _ = reader.get_ref().set_read_timeout(gov.config.idle_timeout);
+                match handle_check_stream(&mut reader, &handle, state, inflight) {
+                    Err(e) if is_timeout(&e) => {
+                        gov.note_timeout();
+                        let access =
+                            Access { op: &op, handle: &handle, dur: t0.elapsed(), ..Access::default() };
+                        gov.log_request(conn_id, &access, "read_timeout");
+                        return Ok(());
+                    }
+                    Err(e) => return Err(e),
+                    Ok((StreamBody::Done(body), bytes)) => {
+                        let disp = if shed { "shed" } else { disposition_of(&body) };
+                        let access = Access {
+                            op: &op,
+                            handle: &handle,
+                            bytes,
+                            dur: t0.elapsed(),
+                            verdict: verdict_of(&body),
+                        };
+                        gov.log_request(conn_id, &access, disp);
+                        respond(reader.get_mut(), body)?;
+                    }
+                    Ok((StreamBody::Abort(msg), bytes)) => {
                         // A chunk framing error poisons the boundary,
                         // exactly like a bad verb line: report and close.
+                        let access = Access {
+                            op: &op,
+                            handle: &handle,
+                            bytes,
+                            dur: t0.elapsed(),
+                            verdict: "-",
+                        };
+                        gov.log_request(conn_id, &access, "framing_error");
                         let _ = respond(reader.get_mut(), err_response(&msg));
                         return Ok(());
                     }
@@ -392,16 +684,76 @@ fn serve_connection(stream: Stream, state: &Arc<ServiceState>) -> io::Result<()>
             }
             Frame::Req(req) => {
                 let shutdown = matches!(req, Request::Shutdown);
-                let body = handle_request(req, state);
+                let handle = request_handle(&req).unwrap_or("-").to_owned();
+                let bytes = request_bytes(&req);
+                let (body, disp) = match req {
+                    // Pool-bound work honours the in-flight cap: past it
+                    // the request is shed with a clean `busy` error and
+                    // the connection stays usable.
+                    Request::Check { .. } | Request::Batch { .. } => match gov.try_inflight() {
+                        Some(_permit) => {
+                            let body = handle_request(req, state);
+                            let disp = disposition_of(&body);
+                            (body, disp)
+                        }
+                        None => (
+                            err_response_kind("busy", "server is at its in-flight request limit"),
+                            "shed",
+                        ),
+                    },
+                    req => {
+                        let body = handle_request(req, state);
+                        let disp = disposition_of(&body);
+                        (body, disp)
+                    }
+                };
+                let access = Access {
+                    op: &op,
+                    handle: &handle,
+                    bytes,
+                    dur: t0.elapsed(),
+                    verdict: verdict_of(&body),
+                };
+                gov.log_request(conn_id, &access, disp);
                 respond(reader.get_mut(), body)?;
                 if shutdown {
                     // The acceptor blocks in `accept`; one self-connect
-                    // makes it re-check the flag and exit.
+                    // makes it re-check the flag and start draining.
                     let _ = connect(&state.endpoint);
                     return Ok(());
                 }
             }
         }
+    }
+}
+
+/// The access-log disposition for a response that was actually served.
+fn disposition_of(body: &str) -> &'static str {
+    if body.starts_with("{\"ok\":true") {
+        "ok"
+    } else {
+        "app_error"
+    }
+}
+
+/// Which DTD handle a request names, for the access log.
+fn request_handle(req: &Request) -> Option<&str> {
+    match req {
+        Request::Check { handle, .. }
+        | Request::CheckStream { handle }
+        | Request::Batch { handle, .. }
+        | Request::Reset { handle } => Some(handle),
+        _ => None,
+    }
+}
+
+/// How many payload bytes a request carried, for the access log.
+fn request_bytes(req: &Request) -> usize {
+    match req {
+        Request::Check { xml, .. } => xml.len(),
+        Request::Load { source, .. } => source.len(),
+        Request::Batch { xmls, .. } => xmls.iter().map(String::len).sum(),
+        _ => 0,
     }
 }
 
@@ -418,30 +770,44 @@ enum StreamBody {
 /// The streaming checker holds only the open ancestor spine (O(depth)),
 /// so a multi-gigabyte upload costs the server a few kilobytes of
 /// resident state. Application errors — unknown handle, malformed
-/// document — still drain every remaining chunk up to the terminator
-/// before responding, so the connection stays usable; only transport
-/// errors (`Err`) and framing errors (`Abort`) end it.
+/// document, a shed request (`inflight` is `None`) — still drain every
+/// remaining chunk up to the terminator before responding, so the
+/// connection stays usable; only transport errors (`Err`, including a
+/// tripped read deadline) and framing errors (`Abort`) end it. Returns
+/// the body disposition plus the chunk bytes consumed (access log).
 fn handle_check_stream(
     reader: &mut BufReader<Stream>,
     handle: &str,
     state: &Arc<ServiceState>,
-) -> io::Result<StreamBody> {
+    inflight: Option<InflightPermit>,
+) -> io::Result<(StreamBody, usize)> {
+    let limits = state.gov.config.limits;
     let entry = state.entry(handle);
-    let checker = entry.as_ref().ok().map(|e| e.engine.checker());
+    // A shed request drains its chunks but never builds a checker: the
+    // whole point is to do no pool-bound work.
+    let checker = if inflight.is_some() {
+        entry.as_ref().ok().map(|e| e.engine.checker())
+    } else {
+        None
+    };
     let mut stream = checker.as_ref().map(|c| pv_core::stream::StreamCheck::new(c.stream_checker()));
     let mut parse_err: Option<pv_xml::XmlError> = None;
     let mut total = 0usize;
     loop {
-        match proto::read_chunk(reader) {
-            Err(msg) => return Ok(StreamBody::Abort(msg)),
+        match proto::read_chunk(reader, limits.max_payload) {
+            Err(ReadError::Io(e)) => return Err(e),
+            Err(ReadError::Frame(msg)) => return Ok((StreamBody::Abort(msg), total)),
             Ok(None) => break,
             Ok(Some(chunk)) => {
                 total += chunk.len();
-                if total > proto::MAX_REQUEST_BYTES {
-                    return Ok(StreamBody::Abort(format!(
-                        "stream exceeds the {}-byte aggregate limit",
-                        proto::MAX_REQUEST_BYTES
-                    )));
+                if total > limits.max_request {
+                    return Ok((
+                        StreamBody::Abort(format!(
+                            "stream exceeds the {}-byte aggregate limit",
+                            limits.max_request
+                        )),
+                        total,
+                    ));
                 }
                 if parse_err.is_none() {
                     if let Some(s) = stream.as_mut() {
@@ -454,6 +820,15 @@ fn handle_check_stream(
                 }
             }
         }
+    }
+    if inflight.is_none() {
+        return Ok((
+            StreamBody::Done(err_response_kind(
+                "busy",
+                "server is at its in-flight request limit",
+            )),
+            total,
+        ));
     }
     let body = match (&entry, parse_err) {
         (Err(e), _) => err_response(e),
@@ -468,7 +843,7 @@ fn handle_check_stream(
             }
         },
     };
-    Ok(StreamBody::Done(body))
+    Ok((StreamBody::Done(body), total))
 }
 
 fn handle_request(req: Request, state: &Arc<ServiceState>) -> String {
@@ -519,6 +894,22 @@ fn handle_request(req: Request, state: &Arc<ServiceState>) -> String {
                 out,
                 ",\"speculation\":{{\"symbols\":{},\"node_visits\":{},\"subs_created\":{},\"specs_denied\":{}}}",
                 totals.symbols, totals.node_visits, totals.subs_created, totals.specs_denied
+            );
+            let g = state.gov.snapshot();
+            let _ = write!(
+                out,
+                ",\"governance\":{{\"draining\":{},\"active\":{},\"max_connections\":{},\
+                 \"conns_shed\":{},\"inflight\":{},\"max_inflight\":{},\"reqs_shed\":{},\
+                 \"timeouts\":{},\"drains_forced\":{}}}",
+                state.shutdown.load(Ordering::SeqCst),
+                g.active,
+                state.gov.config.max_connections,
+                g.conns_shed,
+                g.inflight,
+                state.gov.config.max_inflight,
+                g.reqs_shed,
+                g.timeouts,
+                g.drains_forced,
             );
             out.push_str(",\"dtds\":[");
             let dtds = state.dtds.read().unwrap();
@@ -644,17 +1035,33 @@ fn check_response(outcome: &pv_core::checker::PvOutcome, entry: &DtdEntry, memo:
     out
 }
 
-/// Parses a server response line into JSON, surfacing `ok:false` errors.
-pub(crate) fn parse_response(line: &str) -> Result<Json, String> {
-    let v = json::parse(line).map_err(|e| format!("bad response JSON: {e}"))?;
+/// An `ok:false` response, split into its machine-readable kind (when
+/// the server sent one — `busy`, `draining`) and its message.
+pub(crate) struct RemoteFailure {
+    /// The `kind` field, if present.
+    pub(crate) kind: Option<String>,
+    /// The `error` message.
+    pub(crate) msg: String,
+}
+
+/// Parses a server response line into JSON, surfacing `ok:false` errors
+/// with their kind. Unparseable responses are protocol errors, reported
+/// as a bare message (`Err` with `kind: None` and a `protocol:` prefix
+/// would conflate the two — the client maps them separately).
+pub(crate) fn parse_response(line: &str) -> Result<Json, RemoteFailure> {
+    let fail = |msg: String| RemoteFailure { kind: None, msg };
+    let v = json::parse(line).map_err(|e| fail(format!("bad response JSON: {e}")))?;
     match v.get("ok").and_then(Json::as_bool) {
         Some(true) => Ok(v),
-        Some(false) => Err(v
-            .get("error")
-            .and_then(Json::as_str)
-            .unwrap_or("unspecified server error")
-            .to_owned()),
-        None => Err("response missing \"ok\"".into()),
+        Some(false) => Err(RemoteFailure {
+            kind: v.get("kind").and_then(Json::as_str).map(str::to_owned),
+            msg: v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified server error")
+                .to_owned(),
+        }),
+        None => Err(fail("response missing \"ok\"".into())),
     }
 }
 
@@ -677,5 +1084,17 @@ mod tests {
         let r = err_response("bad\nthing");
         assert!(!r.contains('\n'));
         assert!(parse_response(&r).is_err());
+    }
+
+    #[test]
+    fn kinded_errors_carry_their_kind() {
+        let r = err_response_kind("busy", "server is at its connection limit");
+        assert!(!r.contains('\n'));
+        let fail = parse_response(&r).expect_err("ok:false");
+        assert_eq!(fail.kind.as_deref(), Some("busy"));
+        assert!(fail.msg.contains("connection limit"));
+        // Plain app errors stay kind-less.
+        let fail = parse_response(&err_response("nope")).expect_err("ok:false");
+        assert!(fail.kind.is_none());
     }
 }

@@ -15,6 +15,9 @@
 //!   corpus (Shakespeare-play, XHTML, TEI) with a target size in tokens;
 //! * [`trace`] — editorial traces: op sequences that rebuild a valid
 //!   document from less-marked-up states, replayable through `pv-editor`;
+//! * [`faultnet`] — a fault-injecting TCP proxy (stalls, mid-frame cuts,
+//!   trickled bytes, garbage prefixes, refused connections) for proving
+//!   the service's connection governance under hostile clients;
 //! * [`sweep`] — exhaustive bounded enumeration of tiny DTD × document
 //!   spaces (every content-model assignment × every small tree), the
 //!   substrate of the recognizer-completeness proof suites.
@@ -22,9 +25,11 @@
 pub mod corpus;
 pub mod docgen;
 pub mod dtdgen;
+pub mod faultnet;
 pub mod mutate;
 pub mod sweep;
 pub mod trace;
 
 pub use docgen::DocGen;
 pub use dtdgen::{DtdGen, DtdGenParams};
+pub use faultnet::{FaultMode, FaultProxy};

@@ -13,9 +13,10 @@
 
 use potential_validity::prelude::*;
 use pv_dtd::builtin::BuiltinDtd;
-use pv_service::{Client, Endpoint, Server, ServerHandle};
+use pv_service::{Client, Endpoint, GovernorConfig, LogSink, Server, ServerHandle};
 use pv_workload::corpus;
 use pv_workload::mutate::Mutator;
+use std::time::Duration;
 
 const JOBS: [usize; 3] = [1, 2, 8];
 
@@ -345,6 +346,90 @@ fn mid_stream_disconnect_leaves_the_server_healthy() {
     drop(late);
     client.shutdown().unwrap();
     drop(client);
+    server.join();
+}
+
+/// Deadline boundary, the surviving side: a client trickling stream
+/// chunks with gaps well **under** the idle deadline is a slow client,
+/// not a hostile one — the check must complete bit-identically, because
+/// the governor re-arms the between-chunks clock on every chunk.
+#[test]
+fn trickled_stream_chunks_under_the_idle_deadline_succeed() {
+    let server = Server::bind_with(
+        &Endpoint::parse("127.0.0.1:0"),
+        2,
+        GovernorConfig {
+            idle_timeout: Some(Duration::from_millis(400)),
+            read_timeout: Some(Duration::from_millis(400)),
+            ..GovernorConfig::default()
+        },
+    )
+    .expect("bind governed");
+    let mut client = Client::connect_endpoint(server.endpoint()).unwrap();
+    let dtd = client.load_builtin("figure1").unwrap();
+    let xml = "<r><a><b>x</b><c>y</c> dog<e/></a></r>";
+    // Each chunk arrives after a pause shorter than the deadline; the
+    // whole upload takes several deadline-lengths end to end.
+    let paced = xml.as_bytes().chunks(6).inspect(|_| {
+        std::thread::sleep(Duration::from_millis(60));
+    });
+    let got = client.check_stream(&dtd.handle, paced).unwrap();
+    assert_eq!(got.outcome, expect_outcome(BuiltinDtd::Figure1, xml));
+    client.shutdown().unwrap();
+    drop(client);
+    server.join();
+}
+
+/// Deadline boundary, the reaped side: a client that stalls **past** the
+/// idle deadline mid-stream is cut, the stall is logged with its
+/// disposition, and the server keeps serving others bit-identically.
+#[test]
+fn stalled_stream_chunks_past_the_idle_deadline_time_out() {
+    use std::io::{Read as _, Write as _};
+    let (sink, log) = LogSink::memory();
+    let server = Server::bind_with(
+        &Endpoint::parse("127.0.0.1:0"),
+        2,
+        GovernorConfig {
+            idle_timeout: Some(Duration::from_millis(150)),
+            log: sink,
+            ..GovernorConfig::default()
+        },
+    )
+    .expect("bind governed");
+    let addr = match server.endpoint() {
+        Endpoint::Tcp(a) => a.clone(),
+        _ => unreachable!("test server binds TCP"),
+    };
+    let mut client = Client::connect(&addr).unwrap();
+    let dtd = client.load_builtin("figure1").unwrap();
+    // First chunk arrives, then silence far past the deadline.
+    let mut stalled = std::net::TcpStream::connect(&addr).unwrap();
+    write!(stalled, "CHECK_STREAM {}\n3\n<r>", dtd.handle).unwrap();
+    stalled.flush().unwrap();
+    // The server must close the stalled connection (bounded wait, no
+    // response line) and record why.
+    stalled.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut buf = Vec::new();
+    assert_eq!(stalled.read_to_end(&mut buf).unwrap_or(0), 0, "stall gets no answer");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        if log.lock().unwrap().iter().any(|l| l.contains("disposition=read_timeout")) {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "stall was never logged");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // By now the first client has idled past the deadline too (every
+    // connection lives under the same clock); a fresh one still gets
+    // bit-identical answers.
+    drop(client);
+    let mut fresh = Client::connect(&addr).unwrap();
+    let xml = "<r><a><b>x</b><c>y</c> dog<e/></a></r>";
+    let got = fresh.check_stream(&dtd.handle, xml.as_bytes().chunks(4)).unwrap();
+    assert_eq!(got.outcome, expect_outcome(BuiltinDtd::Figure1, xml));
+    fresh.shutdown().unwrap();
+    drop(fresh);
     server.join();
 }
 
