@@ -17,29 +17,17 @@
 //! actually consumed.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pv_bench::workloads::{stream_doc, stream_doc_poisoned};
 use pv_core::checker::PvChecker;
 use pv_core::stream::StreamCheck;
 use pv_dtd::builtin::BuiltinDtd;
 
 const CHUNK: usize = 64 << 10;
 
-/// `groups` repeated figure1-valid `<a>` subtrees under one `<r>`.
-fn wide_doc(groups: usize) -> String {
-    let mut s = String::with_capacity(groups * 96 + 8);
-    s.push_str("<r>");
-    for i in 0..groups {
-        s.push_str("<a><b><d>lorem ipsum dolor sit amet ");
-        s.push_str(&i.to_string());
-        s.push_str("</d></b><c>consectetur</c><d>adipiscing elit</d></a>");
-    }
-    s.push_str("</r>");
-    s
-}
-
 fn bench_stream(c: &mut Criterion) {
     let analysis = BuiltinDtd::Figure1.analysis();
     let checker = PvChecker::new(&analysis);
-    let xml = wide_doc(50_000);
+    let xml = stream_doc(50_000);
 
     // One instrumented pass pins the residency baseline: the document is
     // ~4.6 MB; the stream must hold no more than one lexer construct and
@@ -84,9 +72,7 @@ fn bench_stream(c: &mut Criterion) {
     // First-violation latency: an undeclared element after ~1% of the
     // sibling groups. The streaming verdict is decided as soon as that
     // tag is lexed; the tree pipeline parses the remaining 99% first.
-    let mut poisoned = wide_doc(50_000);
-    let at = poisoned.find("<a><b><d>lorem ipsum dolor sit amet 500<").unwrap();
-    poisoned.insert_str(at, "<zzz/>");
+    let poisoned = stream_doc_poisoned(50_000);
     let mut consumed = 0usize;
     let mut early = StreamCheck::new(checker.stream_checker());
     for chunk in poisoned.as_bytes().chunks(CHUNK) {

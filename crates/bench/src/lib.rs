@@ -26,7 +26,13 @@
 //! * `experiments --table memo` — shape-memoized checking (claim X8, also
 //!   an addition): ns/node with the verdict cache off / warm / cold over
 //!   the `repetitive` corpus family's hit-rate sweep, with hit rate,
-//!   resident cache entries, and a bit-identity column per row.
+//!   resident cache entries, and a bit-identity column per row;
+//! * `experiments --table completeness` — recognizer completeness against
+//!   the exact Earley oracle (claim X9): exhaustive bounded sweeps plus
+//!   adversarial recursive families, with budget-exactness telemetry;
+//! * `experiments --table stream` — the streaming front end (claim X10):
+//!   MiB/s vs the tree pipeline, O(depth) peak residency, and
+//!   first-violation latency, each row with an outcome-identity column.
 //!
 //! The same workloads back the Criterion benches under `benches/`
 //! (including `parallel_scaling` and the end-to-end `service` bench,

@@ -27,7 +27,8 @@ USAGE:
                [--write-timeout-ms N] [--drain-ms N] [--max-payload BYTES]
                [--max-request BYTES] [--access-log]
   pvx bench-serve --remote ADDR[,ADDR...] [--builtin NAME] [--doc FILE]
-               [--requests N] [--concurrency N] [--flood N] [--json]
+               [--requests N] [--concurrency N] [--flood N]
+               [--stream [--chunk-size N] [--streams N]] [--json]
 
 Without --dtd/--builtin, documents must carry an internal DTD subset
 (<!DOCTYPE root [ ... ]>). Builtins: figure1, t1, t2, xhtml-basic,
@@ -74,6 +75,10 @@ request (op, handle, bytes, duration, verdict, disposition) to stderr.
 exactly one of ok / shed (server said busy or draining) / error, so
 throughput and shed rate are real. --flood holds N extra idle
 connections open to push a --max-conns-limited server into shedding.
+With --stream each request uploads the document as CHECK_STREAM chunks
+(default 64 KiB, --chunk-size N); --streams N multiplexes N interleaved
+copies per request as one BATCH_STREAM, measuring the streaming path at
+service scale.
 
 EXIT CODES: 0 ok / potentially valid · 1 check failed · 2 usage or parse error";
 
@@ -104,6 +109,7 @@ struct Args {
     requests: Option<usize>,
     concurrency: Option<usize>,
     flood: Option<usize>,
+    streams: Option<usize>,
     doc_file: Option<String>,
     docs: Vec<String>,
 }
@@ -138,6 +144,7 @@ fn parse_args() -> Result<Args, String> {
         requests: None,
         concurrency: None,
         flood: None,
+        streams: None,
         doc_file: None,
         docs: Vec::new(),
     };
@@ -220,6 +227,14 @@ fn parse_args() -> Result<Args, String> {
                 args.flood = Some(v.parse().map_err(|_| format!("bad --flood {v:?}"))?);
             }
             "--doc" => args.doc_file = Some(need_value(&mut argv, "--doc")?),
+            "--streams" => {
+                let v = need_value(&mut argv, "--streams")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --streams {v:?}"))?;
+                if n == 0 {
+                    return Err("--streams must be at least 1".to_owned());
+                }
+                args.streams = Some(n);
+            }
             "--chunk-size" => {
                 let v = need_value(&mut argv, "--chunk-size")?;
                 let n: usize = v.parse().map_err(|_| format!("bad --chunk-size {v:?}"))?;
@@ -323,6 +338,12 @@ fn cmd_bench(args: &Args) -> ! {
             None => die(&format!("no built-in bench document for {builtin:?}; pass --doc FILE")),
         },
     };
+    if args.chunk_size.is_some() && !args.stream {
+        die("--chunk-size requires --stream");
+    }
+    if args.streams.is_some() && !args.stream {
+        die("--streams requires --stream");
+    }
     let opts = BenchServeOpts {
         addr,
         builtin,
@@ -330,6 +351,8 @@ fn cmd_bench(args: &Args) -> ! {
         requests: args.requests.unwrap_or(200),
         concurrency: args.concurrency.unwrap_or(4),
         flood: args.flood.unwrap_or(0),
+        stream_chunk: if args.stream { args.chunk_size.unwrap_or(64 * 1024) } else { 0 },
+        streams: args.streams.unwrap_or(1),
         json: args.json,
     };
     let (report, status) = cmd_bench_serve(&opts);

@@ -347,15 +347,24 @@ impl RemoteTarget {
         }
     }
 
-    /// Streams one document in `chunk`-byte pieces (`CHECK_STREAM`).
+    /// Streams one document in `chunk`-byte pieces (`CHECK_STREAM`). A
+    /// zero `chunk` is rejected up front rather than silently
+    /// reinterpreted (`data.chunks(0)` would panic; "stream it in one
+    /// 0-byte chunk" has no meaning on the wire, where a zero-length
+    /// block is the terminator).
     pub fn check_stream(
         &mut self,
         handle: &str,
         data: &[u8],
         chunk: usize,
     ) -> pv_service::Result<pv_service::RemoteCheck> {
+        if chunk == 0 {
+            return Err(pv_service::ServiceError::Invalid(
+                "chunk size must be at least 1 byte".into(),
+            ));
+        }
         match self {
-            RemoteTarget::Single(c) => c.check_stream(handle, data.chunks(chunk.max(1))),
+            RemoteTarget::Single(c) => c.check_stream(handle, data.chunks(chunk)),
             RemoteTarget::Multi(m) => m.check_stream(handle, data, chunk),
         }
     }
@@ -408,11 +417,19 @@ pub fn cmd_check_stream(
     chunk_size: usize,
     opts: &CheckOpts,
 ) -> (String, Status) {
+    if chunk_size == 0 {
+        // A zero chunk size would read zero bytes forever; reject it
+        // loudly instead of silently substituting some other size.
+        return (
+            render_check_error(name, "chunk size must be at least 1 byte", opts.json),
+            Status::Error,
+        );
+    }
     let wf_err = |e: &dyn std::fmt::Display| {
         (render_check_error(name, &format!("not well-formed: {e}"), opts.json), Status::Error)
     };
     let mut parser = pv_xml::PushParser::new();
-    let mut buf = vec![0u8; chunk_size.max(1)];
+    let mut buf = vec![0u8; chunk_size];
     let mut eof = false;
     // Pump until the root start tag: the first event the parser can emit.
     let (root_name, root_self_closing) = loop {
@@ -519,6 +536,14 @@ pub struct BenchServeOpts {
     /// flood: against a low `--max-conns` server these soak up permits,
     /// so the workers' shed rate becomes measurable).
     pub flood: usize,
+    /// Upload chunk size for streaming requests; `0` keeps the plain
+    /// `CHECK` request shape (the document ships as one payload).
+    pub stream_chunk: usize,
+    /// Documents multiplexed per streaming request: `1` issues
+    /// `CHECK_STREAM`, above that each request is a `BATCH_STREAM` of
+    /// this many copies of the document, round-robin interleaved.
+    /// Ignored when `stream_chunk` is 0.
+    pub streams: usize,
     /// Emit one JSON line instead of text.
     pub json: bool,
 }
@@ -529,7 +554,10 @@ pub struct BenchServeOpts {
 /// reported shed rate is the real one, not retries hidden as successes.
 /// Workers round-robin over the backends and reconnect after a shed or
 /// transport failure (the next request pays the reconnect, as a real
-/// client would).
+/// client would). The request shape is selectable: plain `CHECK`
+/// (default), chunked `CHECK_STREAM` uploads (`stream_chunk > 0`), or
+/// multiplexed `BATCH_STREAM` requests of `streams` interleaved copies
+/// — this is how streaming throughput is measured at service scale.
 pub fn cmd_bench_serve(opts: &BenchServeOpts) -> (String, Status) {
     use std::sync::atomic::{AtomicUsize, Ordering};
     let addrs: Vec<String> = opts
@@ -579,9 +607,27 @@ pub fn cmd_bench_serve(opts: &BenchServeOpts) -> (String, Status) {
                         }
                     }
                     let (c, handle) = conn.as_mut().expect("connected above");
-                    match c.check(handle, &opts.xml, 1, true) {
-                        Ok(_) => {
+                    // One loop iteration is one wire request, whatever
+                    // its shape: CHECK, CHECK_STREAM, or a BATCH_STREAM
+                    // multiplexing `streams` copies of the document. A
+                    // batch counts ok only when every slot carried an
+                    // outcome.
+                    let outcome = if opts.stream_chunk == 0 {
+                        c.check(handle, &opts.xml, 1, true).map(|_| true)
+                    } else if opts.streams <= 1 {
+                        c.check_stream(handle, opts.xml.as_bytes().chunks(opts.stream_chunk))
+                            .map(|_| true)
+                    } else {
+                        let docs = vec![opts.xml.as_bytes(); opts.streams];
+                        c.check_stream_batch(handle, &docs, opts.stream_chunk)
+                            .map(|slots| slots.iter().all(std::result::Result::is_ok))
+                    };
+                    match outcome {
+                        Ok(true) => {
                             ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(false) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(pv_service::ServiceError::Unavailable { .. }) => {
                             shed.fetch_add(1, Ordering::Relaxed);
@@ -606,9 +652,14 @@ pub fn cmd_bench_serve(opts: &BenchServeOpts) -> (String, Status) {
     let rps = ok as f64 / elapsed.as_secs_f64().max(1e-9);
     let shed_rate = shed as f64 / (opts.requests.max(1)) as f64;
     let status = if errors == 0 { Status::Ok } else { Status::Error };
+    let mode = match (opts.stream_chunk, opts.streams) {
+        (0, _) => "check".to_owned(),
+        (chunk, s) if s <= 1 => format!("stream{chunk}"),
+        (chunk, s) => format!("batchstream{chunk}x{s}"),
+    };
     if opts.json {
         let line = format!(
-            "{{\"group\":\"bench_serve\",\"id\":\"{}-c{}-f{}\",\"requests\":{},\"ok\":{ok},\
+            "{{\"group\":\"bench_serve\",\"id\":\"{}-{mode}-c{}-f{}\",\"requests\":{},\"ok\":{ok},\
              \"shed\":{shed},\"errors\":{errors},\"elapsed_ms\":{},\"rps\":{rps:.1},\
              \"shed_rate\":{shed_rate:.4}}}\n",
             opts.builtin,
@@ -621,7 +672,7 @@ pub fn cmd_bench_serve(opts: &BenchServeOpts) -> (String, Status) {
     } else {
         (
             format!(
-                "bench-serve: {} requests, {} workers, flood {} → ok {ok}, shed {shed}, \
+                "bench-serve: {} {mode} requests, {} workers, flood {} → ok {ok}, shed {shed}, \
                  errors {errors} in {} ms ({rps:.1} req/s, shed rate {:.1}%)\n",
                 opts.requests,
                 workers,

@@ -807,6 +807,42 @@ impl<'a> EcRecognizer<'a> {
         true
     }
 
+    /// Feeds a whole sibling run of symbols in one call, returning the
+    /// index of the first rejected symbol (`None` = every symbol
+    /// accepted; symbols after a rejection are not fed).
+    ///
+    /// Observationally identical — verdicts, stopping point, and every
+    /// [`RecognizerStats`] counter — to counting and feeding each symbol
+    /// through [`EcRecognizer::validate`] (the contract
+    /// `tests` pin exhaustively): the per-symbol budget bound is hoisted
+    /// out of the loop (it depends only on the immutable context), and a
+    /// round that `begin_round` resolves conclusively —
+    /// the non-speculating common case — short-circuits the agenda
+    /// driver and bottom-up resolution entirely, staying on the FIFO
+    /// lane for the whole run. This is the streaming checker's batched
+    /// dispatch path (see [`crate::stream`]).
+    pub fn advance_run(
+        &mut self,
+        syms: &[ChildSym],
+        stats: &mut RecognizerStats,
+    ) -> Option<usize> {
+        let k1 = (self.ctx.reach.element_count() as u32).saturating_add(1);
+        let full = Self::SPEC_BUDGET_PER_SYMBOL.max(k1.saturating_mul(k1));
+        for (i, &x) in syms.iter().enumerate() {
+            stats.symbols += 1;
+            let accepted = if self.begin_round(x, stats) {
+                self.matched
+            } else {
+                let mut budget = full;
+                self.drive(x, stats, &mut budget, u32::MAX);
+                self.finish_round(stats)
+            };
+            if !accepted {
+                return Some(i);
+            }
+        }
+        None
+    }
 }
 
 /// Convenience: does `elem` accept the child sequence `syms` with the given
@@ -1143,6 +1179,86 @@ mod tests {
         let mut rec = EcRecognizer::new(ctx, a, u32::MAX);
         rec.recognize([ChildSym::Elem(b), ChildSym::Sigma, ChildSym::Elem(b)], &mut stats);
         assert_eq!(stats.specs_denied, 0, "{stats:?}");
+    }
+
+    /// Feeds `syms` one at a time through `validate`, mirroring
+    /// `recognize`'s counting, and returns the first rejected index.
+    fn repeated_validate(
+        rec: &mut EcRecognizer<'_>,
+        syms: &[ChildSym],
+        stats: &mut RecognizerStats,
+    ) -> Option<usize> {
+        for (i, &x) in syms.iter().enumerate() {
+            stats.symbols += 1;
+            if !rec.validate(x, stats) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// `advance_run` contract: identical stopping point *and* identical
+    /// stats to repeated `validate`, over every symbol sequence of
+    /// bounded length for several parents across the builtin DTDs —
+    /// including sequences that reject mid-run and runs fed in several
+    /// consecutive `advance_run` calls.
+    #[test]
+    fn advance_run_matches_repeated_validate() {
+        for (builtin, parents, depth) in [
+            (BuiltinDtd::Figure1, &["a", "r", "d", "c", "e"][..], u32::MAX),
+            (BuiltinDtd::T2, &["a", "b"][..], 8),
+            (BuiltinDtd::XhtmlBasic, &["html", "p"][..], 16),
+        ] {
+            let analysis = builtin.analysis();
+            let dags = DagSet::new(&analysis);
+            let ctx = RecCtx::new(&analysis, &dags);
+            let mut alphabet = vec![ChildSym::Sigma];
+            alphabet.extend(
+                ["a", "b", "c", "e", "body", "li"]
+                    .iter()
+                    .filter_map(|n| analysis.id(n).map(ChildSym::Elem)),
+            );
+            // Every sequence of length <= 3 over the alphabet, as base-N
+            // counters.
+            for len in 0..=3usize {
+                for mut code in 0..alphabet.len().pow(len as u32) {
+                    let mut syms = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        syms.push(alphabet[code % alphabet.len()]);
+                        code /= alphabet.len();
+                    }
+                    for parent in parents {
+                        let e = analysis.id(parent).unwrap();
+                        let mut batch_stats = RecognizerStats::default();
+                        let mut step_stats = RecognizerStats::default();
+                        let mut batch = EcRecognizer::new(ctx, e, depth);
+                        let mut step = EcRecognizer::new(ctx, e, depth);
+                        let got = batch.advance_run(&syms, &mut batch_stats);
+                        let expect = repeated_validate(&mut step, &syms, &mut step_stats);
+                        assert_eq!(got, expect, "{parent}: {syms:?}");
+                        assert_eq!(batch_stats, step_stats, "{parent}: {syms:?}");
+                        // Split runs compose: feeding the same accepted
+                        // sequence as two consecutive runs is the same
+                        // as one.
+                        if expect.is_none() && !syms.is_empty() {
+                            let mut split_stats = RecognizerStats::default();
+                            let mut split = EcRecognizer::new(ctx, e, depth);
+                            let mid = syms.len() / 2;
+                            assert_eq!(
+                                split.advance_run(&syms[..mid], &mut split_stats),
+                                None
+                            );
+                            assert_eq!(
+                                split.advance_run(&syms[mid..], &mut split_stats),
+                                None,
+                                "{parent}: {syms:?} split at {mid}"
+                            );
+                            assert_eq!(split_stats, batch_stats, "{parent}: {syms:?}");
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -65,9 +65,33 @@
 //! tree-parallel path pays a `fetch_min` race to agree on the
 //! document-order-first violation. Both converge on the same node; see
 //! `check_document_parallel` and the `stream_differential` suite.
+//!
+//! ## Batched dispatch
+//!
+//! Feeding the parent recognizer one symbol per event would read and
+//! write the whole per-level state machine once per child. Instead each
+//! open level *queues* its sibling run — `σ` for text (collapsed at
+//! queue time, so repeated pieces and whole repeated runs across
+//! comments cost one branch each and do zero recognizer work) and one
+//! symbol per self-closing declared child — and the run is drained in a
+//! single [`EcRecognizer::advance_run`] call at the next point whose
+//! outcome can matter: a non-self-closing or undeclared child start, or
+//! the level's own end tag. `advance_run` stops at the first rejected
+//! symbol with per-symbol-identical stats, so the candidate freezes at
+//! exactly the position the per-symbol protocol would have frozen it;
+//! queued symbols after the rejection are discarded, which is also
+//! per-symbol-identical (they are later siblings inside the frozen
+//! node, which the protocol never feeds — undeclared children are never
+//! queued: one freezes, or preempts into, an `UndeclaredElement`
+//! candidate directly, exactly as the per-symbol watch would). The one
+//! observable difference is *when* [`StreamChecker::decided`] flips for
+//! a rejected **self-closing** child: the verdict surfaces at the next
+//! flush point instead of the child's own start tag. Undeclared
+//! children — the common first-violation shape — still decide
+//! immediately, and final outcomes are bit-identical everywhere.
 
 use crate::checker::{PvChecker, PvOutcome, PvViolation, PvViolationKind};
-use crate::recognizer::{EcRecognizer, RecCtx, RecognizerStats};
+use crate::recognizer::{EcRecognizer, RecBuffers, RecCtx, RecognizerStats};
 use crate::token::ChildSym;
 use pv_dtd::{DtdAnalysis, ElemId};
 use pv_xml::{Event, NodeId, PushParser};
@@ -85,11 +109,16 @@ struct Level<'c> {
     /// the deltas of every node whose check completed before this node
     /// existed.
     before: RecognizerStats,
-    /// Child symbols fed so far (= the failing index if the next one is
-    /// rejected).
+    /// Child symbols fed to `rec` so far (= the failing index + 1 when
+    /// the last fed symbol was rejected).
     count: usize,
-    /// Whether the last symbol pushed was `σ` — mirrors the
-    /// `out.last() != Some(&ChildSym::Sigma)` collapse in
+    /// Queued sibling run: symbols appended since the last flush, fed to
+    /// `rec` in one [`EcRecognizer::advance_run`] call at the next flush
+    /// point (see the module docs on batched dispatch). Only the top
+    /// level's run is ever non-empty — descending flushes the parent.
+    run: Vec<ChildSym>,
+    /// Whether the last symbol of the fed-plus-queued sequence was `σ` —
+    /// mirrors the `out.last() != Some(&ChildSym::Sigma)` collapse in
     /// [`Tokens::children_into`](crate::token::Tokens::children_into),
     /// which merges text runs across comments and PIs.
     last_sigma: bool,
@@ -152,9 +181,18 @@ pub struct StreamChecker<'c> {
     ctx: RecCtx<'c>,
     depth: u32,
     levels: Vec<Level<'c>>,
-    /// Closed levels donate their recognizers here; opening a level
-    /// re-arms one via [`EcRecognizer::reset`] instead of allocating.
-    spare: Vec<EcRecognizer<'c>>,
+    /// Depth-indexed spare pool: `spare[d]` holds recognizers (plus their
+    /// run buffers) retired by levels that lived at depth `d`. Opening a
+    /// level at depth `d` re-arms one via [`EcRecognizer::reset`] instead
+    /// of allocating, and indexing by depth means a recycled recognizer's
+    /// warmed buffer capacities (active lists, generation bitmaps) were
+    /// sized by an element that actually occurs at that depth — on
+    /// regular documents, usually the *same* element.
+    spare: Vec<Vec<(EcRecognizer<'c>, Vec<ChildSym>)>>,
+    /// Lifetime-free recognizer buffers recovered from a retired checker
+    /// ([`StreamChecker::seed_buffers`]); consumed when a level opens at
+    /// a depth whose spare pool is empty.
+    seed: Vec<RecBuffers>,
     /// Deltas of all cleanly completed node checks (normal mode only).
     done: RecognizerStats,
     state: State,
@@ -175,6 +213,7 @@ impl<'c> StreamChecker<'c> {
             depth,
             levels: Vec::new(),
             spare: Vec::new(),
+            seed: Vec::new(),
             done: RecognizerStats::default(),
             state: State::Normal,
             skip_depth: 0,
@@ -223,8 +262,15 @@ impl<'c> StreamChecker<'c> {
         }
         match &self.state {
             State::Normal => {
-                if !self.levels.is_empty() {
-                    self.feed_sigma_top();
+                // Queue one σ per run (collapse at queue time): once the
+                // sibling run ends in σ, every further piece — and every
+                // further run up to the next child element — does zero
+                // recognizer work, whatever the parent's content model.
+                if let Some(level) = self.levels.last_mut() {
+                    if !level.last_sigma {
+                        level.last_sigma = true;
+                        level.run.push(ChildSym::Sigma);
+                    }
                 }
             }
             State::Candidate(c) => {
@@ -240,27 +286,29 @@ impl<'c> StreamChecker<'c> {
 
     /// Handles an element end tag (also the implicit end of `<e/>`).
     pub fn on_end(&mut self) {
-        match &mut self.state {
-            State::Normal => self.close_top_normal(),
+        let popped = match &mut self.state {
+            State::Normal => return self.close_top_normal(),
             State::Candidate(c) => {
                 if self.skip_depth > 0 {
                     self.skip_depth -= 1;
-                } else if self.levels.len() == c.frozen + 1 {
+                    return;
+                }
+                if self.levels.len() == c.frozen + 1 {
                     // The frozen level itself closes: its delta is already
                     // captured (or deliberately discarded) in `own`.
-                    let level = self.levels.pop().expect("frozen level open");
-                    self.spare.push(level.rec);
+                    self.levels.pop().expect("frozen level open")
                 } else {
                     // A live ancestor closes cleanly: the tree checker
                     // completed this node's check before descending to
                     // the candidate, so its full delta counts.
                     let level = self.levels.pop().expect("live level open");
                     c.spine.merge(&level.partial);
-                    self.spare.push(level.rec);
+                    level
                 }
             }
-            State::RootFailed(_) => {}
-        }
+            State::RootFailed(_) => return,
+        };
+        self.recycle(popped);
     }
 
     /// Handles a comment (allocates its arena node id; comments are
@@ -315,6 +363,31 @@ impl<'c> StreamChecker<'c> {
         }
     }
 
+    /// Seeds the recognizer pool with lifetime-free buffers harvested
+    /// from a retired checker ([`Self::finalize_recycling`]), so
+    /// back-to-back documents reuse
+    /// warmed allocations instead of re-growing them per document.
+    pub fn seed_buffers(&mut self, bufs: Vec<RecBuffers>) {
+        self.seed.extend(bufs);
+    }
+
+    /// Like [`finalize`](Self::finalize), additionally harvesting every
+    /// recognizer's buffers (spare pool, unconsumed seeds, any levels
+    /// still open) for a future checker's
+    /// [`seed_buffers`](Self::seed_buffers).
+    pub fn finalize_recycling(mut self) -> (PvOutcome, Vec<RecBuffers>) {
+        let mut bufs: Vec<RecBuffers> = std::mem::take(&mut self.seed);
+        for slot in std::mem::take(&mut self.spare) {
+            for (rec, _) in slot {
+                bufs.push(rec.into_buffers());
+            }
+        }
+        for level in std::mem::take(&mut self.levels) {
+            bufs.push(level.rec.into_buffers());
+        }
+        (self.finalize(), bufs)
+    }
+
     fn alloc_node(&mut self) -> NodeId {
         let id = NodeId::from_index(self.next_node as usize);
         self.next_node += 1;
@@ -322,12 +395,18 @@ impl<'c> StreamChecker<'c> {
     }
 
     fn push_level(&mut self, node: NodeId, elem: ElemId) {
-        let rec = match self.spare.pop() {
-            Some(mut rec) => {
+        let (rec, run) = match self.spare.get_mut(self.levels.len()).and_then(Vec::pop) {
+            Some((mut rec, run)) => {
                 rec.reset(elem, self.depth);
-                rec
+                (rec, run)
             }
-            None => EcRecognizer::new(self.ctx, elem, self.depth),
+            None => {
+                let rec = match self.seed.pop() {
+                    Some(bufs) => EcRecognizer::with_buffers(self.ctx, elem, self.depth, bufs),
+                    None => EcRecognizer::new(self.ctx, elem, self.depth),
+                };
+                (rec, Vec::new())
+            }
         };
         self.levels.push(Level {
             node,
@@ -335,9 +414,23 @@ impl<'c> StreamChecker<'c> {
             partial: RecognizerStats::default(),
             before: self.done,
             count: 0,
+            run,
             last_sigma: false,
         });
         self.peak_depth = self.peak_depth.max(self.levels.len());
+    }
+
+    /// Returns a popped level's recognizer and run buffer to the spare
+    /// slot for the depth it lived at. Must be called *after* the pop so
+    /// `self.levels.len()` is that depth.
+    fn recycle(&mut self, level: Level<'c>) {
+        let depth = self.levels.len();
+        if self.spare.len() <= depth {
+            self.spare.resize_with(depth + 1, Vec::new);
+        }
+        let mut run = level.run;
+        run.clear();
+        self.spare[depth].push((level.rec, run));
     }
 
     fn start_root(&mut self, node: NodeId, name: &str, self_closing: bool) {
@@ -363,14 +456,21 @@ impl<'c> StreamChecker<'c> {
         let Some(elem) = self.analysis.id(name) else {
             // `children_into` is all-or-nothing *before* recognition: an
             // undeclared child zeroes the parent's entire delta, however
-            // many symbols its recognizer had already accepted.
+            // many symbols its recognizer had already accepted. That
+            // also means the queued run need not be drained: whether it
+            // would have been accepted (delta discarded with `own`) or
+            // rejected (the in-flight `ContentRejected` is preempted by
+            // this very child — see the candidate-path preemption
+            // branch), the frozen candidate comes out identical.
             let parent = self.levels.len() - 1;
+            let level = &mut self.levels[parent];
+            level.run.clear();
             self.state = State::Candidate(Candidate {
                 violation: PvViolation {
                     node,
                     kind: PvViolationKind::UndeclaredElement { name: name.to_owned() },
                 },
-                base: self.levels[parent].before,
+                base: level.before,
                 spine: RecognizerStats::default(),
                 own: RecognizerStats::default(),
                 frozen: parent,
@@ -379,31 +479,20 @@ impl<'c> StreamChecker<'c> {
             self.skip_depth = usize::from(!self_closing);
             return;
         };
-        let accepted = self.feed_symbol_top(ChildSym::Elem(elem));
-        if !accepted {
-            let parent = self.levels.len() - 1;
-            let level = &self.levels[parent];
-            self.state = State::Candidate(Candidate {
-                violation: PvViolation {
-                    node: level.node,
-                    kind: PvViolationKind::ContentRejected {
-                        symbol: ChildSym::Elem(elem).display(&self.analysis.dtd),
-                        index: level.count - 1,
-                    },
-                },
-                base: level.before,
-                spine: RecognizerStats::default(),
-                own: level.partial,
-                frozen: parent,
-                watch_undeclared: true,
-            });
-            self.skip_depth = usize::from(!self_closing);
-        } else if !self_closing {
-            self.push_level(node, elem);
+        self.queue_symbol_top(ChildSym::Elem(elem));
+        if self_closing {
+            // Deferred verdict: an accepted self-closing child has an
+            // empty child sequence (no recognizer run, no counters — the
+            // tree checker skips empty sequences entirely), so there is
+            // nothing to open or merge; a rejected one freezes at the
+            // next flush point with a bit-identical candidate.
+            return;
         }
-        // A self-closing accepted child has an empty child sequence: the
-        // tree checker skips empty sequences entirely (no recognizer run,
-        // no counters), so there is nothing to open or merge.
+        if self.flush_top() {
+            self.push_level(node, elem);
+        } else {
+            self.skip_depth = 1;
+        }
     }
 
     fn start_child_candidate(&mut self, node: NodeId, name: &str, self_closing: bool) {
@@ -480,6 +569,54 @@ impl<'c> StreamChecker<'c> {
         }
     }
 
+    /// Appends one symbol to the top level's queued sibling run — the
+    /// batched counterpart of [`feed_symbol_top`](Self::feed_symbol_top),
+    /// drained by [`flush_top`](Self::flush_top). Normal-mode only.
+    fn queue_symbol_top(&mut self, sym: ChildSym) {
+        let level = self.levels.last_mut().expect("open level");
+        level.last_sigma = matches!(sym, ChildSym::Sigma);
+        level.run.push(sym);
+    }
+
+    /// Drains the top level's queued sibling run into its recognizer in
+    /// one [`EcRecognizer::advance_run`] call. Returns `false` if a
+    /// symbol was rejected; the candidate is then frozen at exactly the
+    /// position — index, partial delta, stats — the per-symbol protocol
+    /// would have frozen it, and the symbols queued after the rejection
+    /// are discarded (only `σ` and *declared* self-closing children are
+    /// ever queued, and the per-symbol protocol feeds neither to a
+    /// frozen level).
+    fn flush_top(&mut self) -> bool {
+        let parent = self.levels.len() - 1;
+        let level = &mut self.levels[parent];
+        if level.run.is_empty() {
+            return true;
+        }
+        let mut run = std::mem::take(&mut level.run);
+        let rejected = level.rec.advance_run(&run, &mut level.partial);
+        level.count += rejected.map_or(run.len(), |i| i + 1);
+        let sym = rejected.map(|i| run[i]);
+        run.clear();
+        level.run = run;
+        let Some(sym) = sym else { return true };
+        let level = &self.levels[parent];
+        self.state = State::Candidate(Candidate {
+            violation: PvViolation {
+                node: level.node,
+                kind: PvViolationKind::ContentRejected {
+                    symbol: sym.display(&self.analysis.dtd),
+                    index: level.count - 1,
+                },
+            },
+            base: level.before,
+            spine: RecognizerStats::default(),
+            own: level.partial,
+            frozen: parent,
+            watch_undeclared: true,
+        });
+        false
+    }
+
     /// Feeds one symbol to the top level's recognizer, replicating
     /// `run_symbols`: the symbol is counted (and the recognizer's stats
     /// mutate) even when it is rejected.
@@ -522,9 +659,14 @@ impl<'c> StreamChecker<'c> {
     }
 
     fn close_top_normal(&mut self) {
+        let clean = self.flush_top();
         let level = self.levels.pop().expect("open level");
-        self.done.merge(&level.partial);
-        self.spare.push(level.rec);
+        if clean {
+            self.done.merge(&level.partial);
+        }
+        // On a rejection the freeze already captured `own = partial` and
+        // this pop is the frozen level's own close: nothing to merge.
+        self.recycle(level);
     }
 }
 
@@ -574,6 +716,17 @@ impl<'c> StreamCheck<'c> {
         self.drain()?;
         debug_assert!(self.parser.is_complete());
         Ok(self.checker.finalize())
+    }
+
+    /// Variant of [`finish`](Self::finish) that also harvests the
+    /// checker's recognizer buffers for the next document's
+    /// [`StreamChecker::seed_buffers`]. A malformed stream forfeits the
+    /// buffers along with the error.
+    pub fn finish_recycling(mut self) -> pv_xml::Result<(PvOutcome, Vec<RecBuffers>)> {
+        self.parser.finish();
+        self.drain()?;
+        debug_assert!(self.parser.is_complete());
+        Ok(self.checker.finalize_recycling())
     }
 
     /// `true` once the verdict is final (see [`StreamChecker::decided`]).

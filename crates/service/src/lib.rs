@@ -52,7 +52,7 @@ pub mod proto;
 mod router;
 mod server;
 
-pub use client::{Client, LoadInfo, RemoteCheck, Result, ServiceError};
+pub use client::{BatchStream, Client, LoadInfo, RemoteCheck, Result, ServiceError};
 pub use governor::{GovernorConfig, LogSink};
 pub use router::{DtdSpec, MultiClient, MultiLoad, RouterConfig};
 pub use server::{Endpoint, Server, ServerHandle};

@@ -411,9 +411,28 @@ impl MultiClient {
     }
 
     /// Streams one document in `chunk`-byte pieces (`CHECK_STREAM`).
+    /// A zero `chunk` is rejected up front ([`ServiceError::Invalid`])
+    /// rather than silently reinterpreted.
     pub fn check_stream(&mut self, key: &str, data: &[u8], chunk: usize) -> Result<RemoteCheck> {
-        let chunk = chunk.max(1);
+        if chunk == 0 {
+            return Err(ServiceError::Invalid("chunk size must be at least 1 byte".into()));
+        }
         self.with_failover(key, |client, handle| client.check_stream(handle, data.chunks(chunk)))
+    }
+
+    /// Streams `docs` as one multiplexed `BATCH_STREAM` on the key's
+    /// backend (with failover): round-robin interleaved `chunk`-byte
+    /// pieces, per-document results in input order.
+    pub fn check_stream_batch(
+        &mut self,
+        key: &str,
+        docs: &[&[u8]],
+        chunk: usize,
+    ) -> Result<Vec<std::result::Result<RemoteCheck, String>>> {
+        if chunk == 0 {
+            return Err(ServiceError::Invalid("chunk size must be at least 1 byte".into()));
+        }
+        self.with_failover(key, |client, handle| client.check_stream_batch(handle, docs, chunk))
     }
 
     /// Checks a batch on the key's backend (with failover).

@@ -34,6 +34,27 @@
 //! clean [`XmlErrorKind::UnexpectedEof`]-family error from
 //! [`PushParser::next_event`] after [`PushParser::finish`] — never as a
 //! wrong event stream.
+//!
+//! ## Throughput
+//!
+//! The hot path is built around three techniques:
+//!
+//! * **Amortized compaction** — consumed bytes are dropped from the input
+//!   buffer only when they outnumber the unconsumed remainder, so the
+//!   total bytes ever memmoved is bounded by the total bytes consumed
+//!   (O(1) per input byte) instead of O(remainder) per *event*. The
+//!   buffer's allocation stays within ~2× the unconsumed high-water mark;
+//!   [`PushParser::peak_buffered`] reports the unconsumed bytes, which is
+//!   the residency claim that matters.
+//! * **Skip-scanning** — character data (and attribute values) advance by
+//!   a single byte-level forward scan to the next delimiter (`<`/`&`, or
+//!   the closing quote) rather than per-character decoding; the needles
+//!   are ASCII, so scanning raw UTF-8 bytes is exact.
+//! * **Zero-copy text and a name arena** — a character-data segment with
+//!   no references is emitted as a borrowed range of the input buffer
+//!   (never copied into scratch), and open-element names live
+//!   concatenated in one rotating arena (`names` + per-level start
+//!   offsets) instead of one heap `String` per open element.
 
 use crate::error::{XmlError, XmlErrorKind};
 use crate::escape::{is_name_char, is_name_start, resolve_reference, validate_name};
@@ -117,7 +138,10 @@ type Step<T> = std::result::Result<T, Halt>;
 /// machine and converted to a borrowing [`Event`] by [`PushParser`].
 enum Raw {
     Start { name: Range<usize>, self_closing: bool },
-    End,
+    /// End tag; `start` is the popped name's offset into the name arena
+    /// (the arena is truncated back to it on the *next* event, so the
+    /// borrow in [`Event::End`] stays valid).
+    End { start: usize },
     TextScratch { first: bool },
     TextBuf { piece: Range<usize>, first: bool },
     Comment { text: Range<usize> },
@@ -139,20 +163,28 @@ pub struct PushParser {
     eof: bool,
     mode: Mode,
     options: ParseOptions,
-    /// Open element names — the only per-depth state the lexer holds.
-    stack: Vec<String>,
+    /// Open element names, concatenated (the name arena): element `i`'s
+    /// name spans `names[name_starts[i]..name_starts[i + 1]]` (to the
+    /// arena's end for the innermost). The only per-depth state the
+    /// lexer holds, and allocation-free at steady state.
+    names: String,
+    /// Per-open-element start offsets into `names`.
+    name_starts: Vec<usize>,
+    /// Pending arena truncation: a popped end-tag name is kept alive for
+    /// the borrow in [`Event::End`] and reclaimed on the next event.
+    name_trunc: Option<usize>,
     root_seen: bool,
     doctype: Option<Doctype>,
     failed: Option<XmlError>,
-    /// Scratch for the text piece being assembled (references resolved).
+    /// Scratch for the text piece being assembled. Only reference
+    /// resolution writes here; plain character data is emitted as a
+    /// borrowed range of `buf` without copying.
     text: String,
     text_emitted: bool,
     /// `true` once the current character-data run has emitted a piece.
     run_started: bool,
     /// Scratch for the attribute list of the current start tag.
     attrs: Vec<Attribute>,
-    /// Scratch holding a popped end-tag name for the borrow in [`Event::End`].
-    name_scratch: String,
     peak_buffered: usize,
 }
 
@@ -179,7 +211,9 @@ impl PushParser {
             eof: false,
             mode: Mode::Decl,
             options,
-            stack: Vec::new(),
+            names: String::new(),
+            name_starts: Vec::new(),
+            name_trunc: None,
             root_seen: false,
             doctype: None,
             failed: None,
@@ -187,7 +221,6 @@ impl PushParser {
             text_emitted: false,
             run_started: false,
             attrs: Vec::new(),
-            name_scratch: String::new(),
             peak_buffered: 0,
         }
     }
@@ -218,7 +251,17 @@ impl PushParser {
                 }
             }
         }
-        self.peak_buffered = self.peak_buffered.max(self.buf.len() - self.pos);
+        self.note_buffered();
+    }
+
+    /// Samples the current residency — unconsumed buffered bytes plus any
+    /// split UTF-8 tail — into the high-water mark. Called at every point
+    /// residency can grow (after a push) or is about to shrink (after an
+    /// event), so [`PushParser::peak_buffered`] is a true maximum.
+    #[inline]
+    fn note_buffered(&mut self) {
+        let now = self.buf.len() - self.pos + self.utf8_tail.len();
+        self.peak_buffered = self.peak_buffered.max(now);
     }
 
     /// Signals end of input. Subsequent [`PushParser::next_event`] calls
@@ -249,8 +292,14 @@ impl PushParser {
         self.doctype.as_ref()
     }
 
-    /// High-water mark of buffered-but-unconsumed bytes: the lexer's
-    /// residency over the whole parse, excluding the open-name stack.
+    /// High-water mark of buffered-but-unconsumed bytes — including any
+    /// UTF-8 sequence split across a chunk boundary — over the whole
+    /// parse, excluding the open-name arena. This is a true maximum:
+    /// residency only grows inside [`PushParser::push`] and is sampled
+    /// there after every append (even when bytes are parked in the UTF-8
+    /// tail), and again after every event. The buffer's *allocation* may
+    /// lag behind consumption by up to one compaction interval (~2× this
+    /// figure); see the module docs on amortized compaction.
     #[inline]
     pub fn peak_buffered(&self) -> usize {
         self.peak_buffered
@@ -259,7 +308,7 @@ impl PushParser {
     /// Current open-element depth.
     #[inline]
     pub fn depth(&self) -> usize {
-        self.stack.len()
+        self.name_starts.len()
     }
 
     /// Pulls the next complete event.
@@ -275,8 +324,17 @@ impl PushParser {
         if let Some(e) = &self.failed {
             return Err(e.clone());
         }
-        // Drop consumed input; absolute offsets survive via `base`.
-        if self.pos > 0 {
+        if let Some(n) = self.name_trunc.take() {
+            // Reclaim the end-tag name whose borrow ended with the
+            // previous event.
+            self.names.truncate(n);
+        }
+        // Amortized compaction: drop consumed input only once it
+        // outweighs the unconsumed remainder, so every byte is memmoved
+        // at most once on average (a per-event unconditional drain is
+        // O(remainder) per event — quadratic over a large document).
+        // Absolute offsets survive via `base`.
+        if self.pos > 0 && self.pos >= self.buf.len() - self.pos {
             self.buf.drain(..self.pos);
             self.base += self.pos;
             self.pos = 0;
@@ -294,13 +352,13 @@ impl PushParser {
             p: self.pos,
             pos: &mut self.pos,
             mode: &mut self.mode,
-            stack: &mut self.stack,
+            names: &mut self.names,
+            name_starts: &mut self.name_starts,
             root_seen: &mut self.root_seen,
             doctype: &mut self.doctype,
             text: &mut self.text,
             run_started: &mut self.run_started,
             attrs: &mut self.attrs,
-            name_scratch: &mut self.name_scratch,
         };
         let raw = match m.run() {
             Ok(raw) => raw,
@@ -313,14 +371,17 @@ impl PushParser {
                 return Err(e);
             }
         };
-        self.peak_buffered = self.peak_buffered.max(self.buf.len() - self.pos);
+        self.note_buffered();
         Ok(raw.map(|raw| match raw {
             Raw::Start { name, self_closing } => Event::Start {
                 name: &self.buf[name],
                 attrs: &self.attrs,
                 self_closing,
             },
-            Raw::End => Event::End { name: &self.name_scratch },
+            Raw::End { start } => {
+                self.name_trunc = Some(start);
+                Event::End { name: &self.names[start..] }
+            }
             Raw::TextScratch { first } => {
                 self.text_emitted = true;
                 Event::Text { piece: &self.text, first }
@@ -348,13 +409,13 @@ struct Machine<'m> {
     /// Committed cursor: restart point after [`Halt::More`].
     pos: &'m mut usize,
     mode: &'m mut Mode,
-    stack: &'m mut Vec<String>,
+    names: &'m mut String,
+    name_starts: &'m mut Vec<usize>,
     root_seen: &'m mut bool,
     doctype: &'m mut Option<Doctype>,
     text: &'m mut String,
     run_started: &'m mut bool,
     attrs: &'m mut Vec<Attribute>,
-    name_scratch: &'m mut String,
 }
 
 impl Machine<'_> {
@@ -570,15 +631,15 @@ impl Machine<'_> {
     fn content(&mut self) -> Step<Option<Raw>> {
         match self.peek_or()? {
             None => {
-                return Err(if let Some(open) = self.stack.last() {
-                    self.fail(XmlErrorKind::UnclosedTag(open.clone()), self.abs())
+                return Err(if let Some(&st) = self.name_starts.last() {
+                    self.fail(XmlErrorKind::UnclosedTag(self.names[st..].to_owned()), self.abs())
                 } else {
                     self.fail(XmlErrorKind::NoRootElement, self.abs())
                 });
             }
             Some(b'<') => {}
             Some(_) => {
-                if self.stack.is_empty() {
+                if self.name_starts.is_empty() {
                     return Err(self.err_unexpected("character data outside the root"));
                 }
                 *self.mode = Mode::CharData;
@@ -593,28 +654,31 @@ impl Machine<'_> {
             let name = self.name()?;
             self.skip_ws();
             self.expect_lit(">")?;
-            let Some(open) = self.stack.pop() else {
+            let Some(&st) = self.name_starts.last() else {
                 return Err(
                     self.fail(XmlErrorKind::UnopenedTag(self.s[name].to_owned()), close_pos)
                 );
             };
-            if open != self.s[name.clone()] {
+            if self.names[st..] != self.s[name.clone()] {
+                let open = self.names[st..].to_owned();
                 let close = self.s[name].to_owned();
                 return Err(self.fail(XmlErrorKind::MismatchedTag { open, close }, close_pos));
             }
+            self.name_starts.pop();
             self.commit();
-            *self.name_scratch = open;
-            if self.stack.is_empty() {
+            if self.name_starts.is_empty() {
                 *self.mode = Mode::Epilog;
             }
-            Ok(Some(Raw::End))
+            // The arena still holds the popped name (truncated by the
+            // caller after the event's borrow ends).
+            Ok(Some(Raw::End { start: st }))
         } else if self.lit("<!--")? {
             let text = self.comment_body()?;
             self.commit();
             if !self.keep_comments {
                 return Ok(None);
             }
-            if self.stack.is_empty() {
+            if self.name_starts.is_empty() {
                 // The tree parser treats this as unreachable (the prolog
                 // consumes pre-root comments); keep it an error, not a panic.
                 return Err(self.err_unexpected("comment outside root"));
@@ -625,7 +689,7 @@ impl Machine<'_> {
             let end = self.find("]]>")?;
             let piece = self.p..self.p + end;
             self.p += end + 3;
-            if self.stack.is_empty() {
+            if self.name_starts.is_empty() {
                 return Err(self.err_unexpected("CDATA outside root"));
             }
             self.commit();
@@ -633,7 +697,7 @@ impl Machine<'_> {
         } else if self.lit("<?")? {
             let (target, data) = self.pi_body()?;
             self.commit();
-            if self.keep_pis && !self.stack.is_empty() {
+            if self.keep_pis && !self.name_starts.is_empty() {
                 Ok(Some(Raw::Pi { target, data }))
             } else {
                 Ok(None)
@@ -654,7 +718,7 @@ impl Machine<'_> {
                 self.expect_lit(">")?;
                 false
             };
-            if self.stack.is_empty() {
+            if self.name_starts.is_empty() {
                 if *self.root_seen {
                     return Err(self.fail(XmlErrorKind::TrailingContent, name_pos));
                 }
@@ -662,17 +726,20 @@ impl Machine<'_> {
             }
             self.commit();
             if !self_closing {
-                self.stack.push(self.s[name.clone()].to_owned());
-            } else if self.stack.is_empty() {
+                self.name_starts.push(self.names.len());
+                self.names.push_str(&self.s[name.clone()]);
+            } else if self.name_starts.is_empty() {
                 *self.mode = Mode::Epilog;
             }
             Ok(Some(Raw::Start { name, self_closing }))
         }
     }
 
-    /// Advances a character-data run, committing resolved progress into the
-    /// text scratch so a multi-chunk run never re-parses (and never
-    /// accumulates more than one piece).
+    /// Advances a character-data run. A segment with no references is
+    /// emitted as a borrowed range of the input buffer in one byte-level
+    /// skip-scan (no copy); only reference resolution goes through the
+    /// text scratch, whose resolved progress is committed so a
+    /// multi-chunk run never re-parses.
     fn char_data(&mut self) -> Step<Option<Raw>> {
         loop {
             match self.peek() {
@@ -697,9 +764,27 @@ impl Machine<'_> {
                     Err(fail) => return Err(fail),
                 },
                 Some(_) => {
-                    let rest = &self.s[self.p..];
-                    let stop = rest.find(['<', '&']).unwrap_or(rest.len());
-                    self.text.push_str(&rest[..stop]);
+                    // Skip-scan: one forward byte scan to the next
+                    // delimiter classifies the whole segment (the needles
+                    // are ASCII, so scanning raw UTF-8 bytes is exact).
+                    let rest = &self.s.as_bytes()[self.p..];
+                    let stop = rest
+                        .iter()
+                        .position(|&b| b == b'<' || b == b'&')
+                        .unwrap_or(rest.len());
+                    if self.text.is_empty() {
+                        // No reference resolved into scratch: ship the
+                        // segment as a borrowed range, zero-copy. The
+                        // cursor state re-enters this match on the next
+                        // event to classify whatever stopped the scan.
+                        let piece = self.p..self.p + stop;
+                        self.p += stop;
+                        self.commit();
+                        let first = !*self.run_started;
+                        *self.run_started = true;
+                        return Ok(Some(Raw::TextBuf { piece, first }));
+                    }
+                    self.text.push_str(&self.s[self.p..self.p + stop]);
                     self.p += stop;
                     self.commit();
                 }
@@ -794,10 +879,12 @@ impl Machine<'_> {
                             }
                             Some(b'&') => value.push(self.reference()?),
                             Some(_) => {
-                                let rest = &self.s[self.p..];
-                                let stop =
-                                    rest.find([quote as char, '&', '<']).unwrap_or(rest.len());
-                                value.push_str(&rest[..stop]);
+                                let rest = &self.s.as_bytes()[self.p..];
+                                let stop = rest
+                                    .iter()
+                                    .position(|&b| b == quote || b == b'&' || b == b'<')
+                                    .unwrap_or(rest.len());
+                                value.push_str(&self.s[self.p..self.p + stop]);
                                 self.p += stop;
                             }
                         }

@@ -642,3 +642,35 @@ mod fuzz {
         }
     }
 }
+
+/// `BATCH_STREAM` admission is all-or-nothing: each stream costs one
+/// in-flight unit, so a 3-stream batch against `max_inflight: 2` is shed
+/// `busy` as a whole — its frames drained, the connection usable — while
+/// a 2-stream batch on the same connection is admitted and answers
+/// bit-identically per stream. With partial admission this test fails on
+/// the Err arm below.
+#[test]
+fn batch_stream_admission_is_all_or_nothing() {
+    let (server, log) = governed(GovernorConfig {
+        max_inflight: 2,
+        idle_timeout: Some(Duration::from_secs(30)),
+        ..GovernorConfig::default()
+    });
+    let addr = tcp_addr(&server);
+    let mut client = Client::connect(&addr).unwrap();
+    let dtd = client.load_builtin("figure1").unwrap();
+    let docs = [PV_XML.as_bytes(); 3];
+    match client.check_stream_batch(&dtd.handle, &docs, 4) {
+        Err(ServiceError::Unavailable { kind, .. }) => assert_eq!(kind, "busy"),
+        other => panic!("expected busy shed, got {other:?}"),
+    }
+    wait_for_log(&log, "disposition=shed");
+    // The shed connection still works, and a batch within the limit is
+    // admitted with per-stream outcomes bit-identical to in-process.
+    let expect = expect_outcome(BuiltinDtd::Figure1, PV_XML);
+    let got = client.check_stream_batch(&dtd.handle, &docs[..2], 4).unwrap();
+    for slot in &got {
+        assert_eq!(slot.as_ref().unwrap().outcome, expect);
+    }
+    shutdown(server, &addr);
+}

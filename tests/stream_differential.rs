@@ -24,6 +24,7 @@ use pv_workload::corpus;
 use pv_workload::docgen::DocGen;
 use pv_workload::dtdgen::{DtdGen, DtdGenParams};
 use pv_workload::mutate::Mutator;
+use pv_xml::NodeKind;
 
 /// Streams `xml` through a fresh [`StreamCheck`] in the given chunks.
 fn stream_outcome(checker: &PvChecker, chunks: &[&[u8]]) -> PvOutcome {
@@ -32,6 +33,58 @@ fn stream_outcome(checker: &PvChecker, chunks: &[&[u8]]) -> PvOutcome {
         stream.feed(chunk).expect("document is well-formed");
     }
     stream.finish().expect("document is well-formed")
+}
+
+/// The event-at-a-time oracle for the batched hot path: drives the same
+/// `StreamChecker` one tree-derived event at a time — no chunked lexing,
+/// no sibling-run batching upstream — with text shattered into 1-char
+/// pieces (maximal σ-collapse pressure) and childless elements encoded
+/// as `<e/>` (`expand_self_closing: false`) or `<e></e>` (`true`). The
+/// internal queue may batch however it likes; the outcome must be
+/// bit-identical to this dispatch.
+fn event_at_a_time_outcome(
+    checker: &PvChecker,
+    doc: &Document,
+    expand_self_closing: bool,
+) -> PvOutcome {
+    enum Step {
+        Enter(NodeId),
+        Close,
+    }
+    let mut stream = checker.stream_checker();
+    let mut stack = vec![Step::Enter(doc.root())];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Close => stream.on_end(),
+            Step::Enter(n) => match &doc.node(n).kind {
+                NodeKind::Text(t) => {
+                    if t.is_empty() {
+                        stream.on_text("", true);
+                    }
+                    let mut first = true;
+                    for (i, c) in t.char_indices() {
+                        stream.on_text(&t[i..i + c.len_utf8()], first);
+                        first = false;
+                    }
+                }
+                NodeKind::Comment(_) => stream.on_comment(),
+                NodeKind::Pi { .. } => stream.on_pi(),
+                NodeKind::Element { name, .. } => {
+                    let kids = doc.children(n);
+                    if kids.is_empty() && !expand_self_closing {
+                        stream.on_start(name, true);
+                    } else {
+                        stream.on_start(name, false);
+                        stack.push(Step::Close);
+                        for &c in kids.iter().rev() {
+                            stack.push(Step::Enter(c));
+                        }
+                    }
+                }
+            },
+        }
+    }
+    stream.finalize()
 }
 
 /// The chunkings every document is replayed under: 1-byte chunks, a few
@@ -63,6 +116,13 @@ fn assert_stream_identical(analysis: &DtdAnalysis, xml: &str, ctx: &str) {
             checker.check_document_parallel(&doc, jobs),
             tree,
             "{ctx}: parallel tree check diverged at jobs={jobs}"
+        );
+    }
+    for expand in [false, true] {
+        assert_eq!(
+            event_at_a_time_outcome(&checker, &doc, expand),
+            tree,
+            "{ctx}: event-at-a-time dispatch diverged (expand_self_closing={expand})"
         );
     }
     for (i, chunks) in chunkings(xml).into_iter().enumerate() {
@@ -268,6 +328,39 @@ proptest! {
             &stream_outcome(&checker, &chunks),
             &tree,
             "class={:?} seed={} chunk={}", class, seed, chunk
+        );
+    }
+
+    /// Random DTD families × random documents: batched dispatch (chunked
+    /// bytes, sibling runs) is observationally equal to event-at-a-time
+    /// dispatch under both self-closing encodings.
+    #[test]
+    fn batched_dispatch_matches_event_at_a_time(
+        class in class_strategy(),
+        seed in 0u64..5000,
+        dels in 0usize..12,
+        expand in any::<bool>(),
+    ) {
+        let break_it = seed % 2 == 1;
+        let analysis = DtdGen::new(
+            seed,
+            DtdGenParams { class, elements: 7, max_model_atoms: 4, ..Default::default() },
+        )
+        .generate();
+        let mut doc = DocGen::new(&analysis, seed ^ 0xBA7C).generate(40);
+        Mutator::new(seed).delete_random_markup(&mut doc, dels);
+        if break_it {
+            Mutator::new(seed ^ 3).swap_random_siblings(&mut doc);
+            Mutator::new(seed ^ 4).rename_random_element(&mut doc, &analysis.dtd);
+        }
+        let xml = doc.to_xml();
+        let parsed = pv_xml::parse(&xml).unwrap();
+        let checker = PvChecker::new(&analysis);
+        let tree = checker.check_document(&parsed);
+        prop_assert_eq!(
+            &event_at_a_time_outcome(&checker, &parsed, expand),
+            &tree,
+            "class={:?} seed={} expand={}", class, seed, expand
         );
     }
 }

@@ -191,6 +191,62 @@ fn every_prefix_truncation_is_a_clean_error() {
     }
 }
 
+/// `peak_buffered` is a **true high-water mark** of the lexer's resident
+/// bytes, not a sample at convenient boundaries: it must reach at least
+/// the size of the largest single construct (which is fully resident
+/// just before its event), must stay construct-bound rather than
+/// document-bound at every chunking, and must count bytes parked in the
+/// split-UTF-8 tail the moment they are parked.
+#[test]
+fn peak_buffered_is_a_true_high_water_mark() {
+    // One ~300-byte comment dominates every other construct; the rest of
+    // the document is an order of magnitude smaller.
+    let comment = format!("<!--{}-->", "c".repeat(300));
+    let xml = format!("<r>head{comment}<a>tail — ünïcödé 試験</a></r>");
+    for chunk in [1usize, 2, 7, 16, 64] {
+        let mut parser = PushParser::new();
+        let mut pieces = xml.as_bytes().chunks(chunk);
+        let mut eof = false;
+        loop {
+            match parser.next_event().unwrap() {
+                Some(_) => continue,
+                None if eof => break,
+                None => match pieces.next() {
+                    Some(c) => parser.push(c),
+                    None => {
+                        parser.finish();
+                        eof = true;
+                    }
+                },
+            }
+        }
+        assert!(parser.is_complete());
+        let peak = parser.peak_buffered();
+        assert!(
+            peak >= comment.len(),
+            "chunk={chunk}: peak {peak} under-reports the {}-byte construct",
+            comment.len()
+        );
+        assert!(
+            peak <= comment.len() + chunk + 16,
+            "chunk={chunk}: peak {peak} is not construct-bound"
+        );
+    }
+    // The split-UTF-8 tail counts toward residency the moment it is
+    // parked, not at the next event boundary: 119 pushed bytes are 117
+    // buffered text bytes plus a 2-byte partial codepoint in the tail.
+    let mut parser = PushParser::new();
+    parser.push(b"<r>");
+    while parser.next_event().unwrap().is_some() {}
+    let text = "試".repeat(40); // 120 bytes of 3-byte codepoints
+    parser.push(&text.as_bytes()[..119]);
+    assert!(
+        parser.peak_buffered() >= 119,
+        "tail bytes missing from the high-water mark: {}",
+        parser.peak_buffered()
+    );
+}
+
 /// Byte soup — including invalid UTF-8 and mid-codepoint truncations —
 /// must never panic; it either errors or (for the rare well-formed
 /// accident) completes.
