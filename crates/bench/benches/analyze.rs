@@ -1,0 +1,70 @@
+//! X11 — budget certificates in the hot path: checking speculation-heavy
+//! stripped corpora at the certified (reduced) speculation budget vs
+//! forced back onto the full `(m+1)²` default.
+//!
+//! The certificate's claim is that the reduction is observationally free
+//! (bit-identical outcomes, `specs_denied == 0` — asserted here before
+//! timing); what the bench measures is what the constant *costs or
+//! saves*: a certified context loads a fixed budget per symbol instead
+//! of re-deriving the default formula. One more pair measures `certify`
+//! itself — the analysis is a per-DTD constant, amortized to nothing by
+//! the engine, but its absolute cost should stay microscopic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pv_core::checker::PvChecker;
+use pv_dtd::budget;
+use pv_dtd::builtin::BuiltinDtd;
+use pv_workload::corpus;
+use pv_workload::mutate::Mutator;
+
+fn bench_analyze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze");
+
+    // Certified, speculation-heavy builtins: the corpus stripped of 20%
+    // of its markup, so speculation requests dominate the check.
+    for b in [BuiltinDtd::Play, BuiltinDtd::XhtmlBasic, BuiltinDtd::TeiLite] {
+        let analysis = b.analysis();
+        let report = budget::certify(&analysis);
+        assert!(report.is_certified(), "{} must certify", b.name());
+        let full = budget::full_budget(analysis.dtd.len());
+        let mut doc = corpus::for_builtin(b, 4000).unwrap();
+        let strip = doc.element_count() / 5;
+        Mutator::new(9).delete_random_markup(&mut doc, strip);
+        let n = doc.element_count();
+
+        let certified = PvChecker::new(&analysis);
+        let mut forced = PvChecker::new(&analysis);
+        forced.set_spec_budget(full);
+        let out = certified.check_document(&doc);
+        assert_eq!(out.stats.specs_denied, 0, "{}: certificate broken", b.name());
+        assert_eq!(out, forced.check_document(&doc), "{}: certificate broken", b.name());
+
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("{}_certified", b.name()), n),
+            &doc,
+            |bench, doc| bench.iter(|| certified.check_document(doc).is_potentially_valid()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{}_full_budget", b.name()), n),
+            &doc,
+            |bench, doc| bench.iter(|| forced.check_document(doc).is_potentially_valid()),
+        );
+    }
+
+    // The analyzer itself: Glushkov classification + budget certification
+    // over the largest builtin (a per-DTD constant the engine runs once).
+    let tei = BuiltinDtd::TeiDrama.analysis();
+    group.bench_function("certify_tei_drama", |bench| {
+        bench.iter(|| budget::certify(&tei).applied_budget())
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_analyze
+}
+criterion_main!(benches);

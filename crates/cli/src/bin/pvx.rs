@@ -3,9 +3,9 @@
 //! See `pvx --help` or the crate docs of `pv-cli` for usage.
 
 use pv_cli::{
-    cmd_bench_serve, cmd_check, cmd_check_remote, cmd_check_stream, cmd_check_stream_remote,
-    cmd_classify, cmd_complete, cmd_lint, cmd_validate, render_check_error, resolve_dtd,
-    BenchServeOpts, CheckOpts, RemoteTarget, Status,
+    cmd_analyze, cmd_bench_serve, cmd_check, cmd_check_remote, cmd_check_stream,
+    cmd_check_stream_remote, cmd_classify, cmd_complete, cmd_lint, cmd_validate,
+    render_check_error, resolve_dtd, BenchServeOpts, CheckOpts, RemoteTarget, Status,
 };
 use pv_core::depth::DepthPolicy;
 use pv_service::{Endpoint, GovernorConfig, LogSink, Server};
@@ -16,16 +16,17 @@ pvx — potential validity of document-centric XML (ICDE 2006)
 
 USAGE:
   pvx check    [--dtd FILE --root NAME | --builtin NAME] [--depth N] [--jobs N]
-               [--no-memo] [--json] [--stream [--chunk-size N]]
+               [--no-memo] [--json] [-v] [--stream [--chunk-size N]]
                [--remote ADDR[,ADDR...]] DOC.xml...
   pvx validate [--dtd FILE --root NAME | --builtin NAME] [--ignore-whitespace] DOC.xml...
   pvx complete [--dtd FILE --root NAME | --builtin NAME] DOC.xml
   pvx classify (--dtd FILE --root NAME | --builtin NAME)
   pvx lint     (--dtd FILE --root NAME | --builtin NAME)
+  pvx analyze  (--dtd FILE --root NAME | --builtin NAME) [--json]
   pvx serve    (--socket PATH | --port N) [--jobs N] [--max-conns N]
                [--max-inflight N] [--idle-timeout-ms N] [--read-timeout-ms N]
                [--write-timeout-ms N] [--drain-ms N] [--max-payload BYTES]
-               [--max-request BYTES] [--access-log]
+               [--max-request BYTES] [--access-log] [--strict-load]
   pvx bench-serve --remote ADDR[,ADDR...] [--builtin NAME] [--doc FILE]
                [--requests N] [--concurrency N] [--flood N]
                [--stream [--chunk-size N] [--streams N]] [--json]
@@ -42,6 +43,15 @@ the diagnosis are identical at any job/memo setting.
 
 --json makes `check` print one machine-readable JSON line per document
 (verdict, first violation, memo/speculation counters) instead of text.
+-v adds a one-line `analysis:` summary (determinism class, certified
+speculation budget) to each text-mode `check` report.
+
+`pvx analyze` runs the static DTD analyzer: Glushkov 1-unambiguity per
+content model (with a concrete witness pair on ambiguity) and a static
+speculation-budget certificate — certified DTDs run every check with a
+reduced budget and a `specs_denied == 0` guarantee. --json emits one
+stable machine-readable object. Exit codes: 0 = budget-certified,
+1 = flagged (analysis ran; certification refused), 2 = error.
 
 --stream checks without building a tree: the document is pushed through
 the SAX-style event front end in chunks (default 64 KiB, --chunk-size N)
@@ -70,6 +80,8 @@ transfer, --drain-ms bounds the graceful drain after SHUTDOWN, and
 --max-payload/--max-request cap request sizes. A timeout value of 0
 disables that deadline. --access-log prints one structured line per
 request (op, handle, bytes, duration, verdict, disposition) to stderr.
+--strict-load refuses LOAD/BUILTIN of DTDs the static analyzer cannot
+budget-certify (see `pvx analyze`).
 
 `pvx bench-serve` measures a server honestly: every request counts as
 exactly one of ok / shed (server said busy or draining) / error, so
@@ -106,6 +118,8 @@ struct Args {
     max_payload: Option<usize>,
     max_request: Option<usize>,
     access_log: bool,
+    verbose: bool,
+    strict_load: bool,
     requests: Option<usize>,
     concurrency: Option<usize>,
     flood: Option<usize>,
@@ -141,6 +155,8 @@ fn parse_args() -> Result<Args, String> {
         max_payload: None,
         max_request: None,
         access_log: false,
+        verbose: false,
+        strict_load: false,
         requests: None,
         concurrency: None,
         flood: None,
@@ -213,6 +229,8 @@ fn parse_args() -> Result<Args, String> {
                     Some(v.parse().map_err(|_| format!("bad --max-request {v:?}"))?);
             }
             "--access-log" => args.access_log = true,
+            "-v" | "--verbose" => args.verbose = true,
+            "--strict-load" => args.strict_load = true,
             "--requests" => {
                 let v = need_value(&mut argv, "--requests")?;
                 args.requests = Some(v.parse().map_err(|_| format!("bad --requests {v:?}"))?);
@@ -287,6 +305,7 @@ fn governance(args: &Args) -> GovernorConfig {
         drain_deadline: args.drain_ms.map(Duration::from_millis).unwrap_or(d.drain_deadline),
         limits,
         log: if args.access_log { LogSink::Stderr } else { LogSink::Null },
+        strict_load: args.strict_load,
     }
 }
 
@@ -465,7 +484,7 @@ fn main() {
     let mut worst = Status::Ok;
 
     match args.command.as_str() {
-        "classify" | "lint" => {
+        "classify" | "lint" | "analyze" => {
             let ctx = match resolve_dtd(
                 dtd_src.as_deref(),
                 args.root.as_deref(),
@@ -475,10 +494,10 @@ fn main() {
                 Ok(c) => c,
                 Err(e) => die(&e),
             };
-            let (report, status) = if args.command == "classify" {
-                cmd_classify(&ctx)
-            } else {
-                cmd_lint(&ctx)
+            let (report, status) = match args.command.as_str() {
+                "classify" => cmd_classify(&ctx),
+                "lint" => cmd_lint(&ctx),
+                _ => cmd_analyze(&ctx, args.json),
             };
             print!("{report}");
             worst = status;
@@ -518,6 +537,7 @@ fn main() {
                     jobs: args.jobs.unwrap_or(1),
                     memo: args.memo,
                     json: args.json,
+                    verbose: args.verbose,
                 };
                 // The streaming check path never materializes the tree:
                 // locally the file is read in chunks straight into the

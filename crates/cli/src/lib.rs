@@ -136,11 +136,15 @@ pub struct CheckOpts {
     pub memo: bool,
     /// Emit one machine-readable JSON line per document instead of text.
     pub json: bool,
+    /// `-v`: append a one-line `analysis:` summary (class, determinism,
+    /// certified budget) to text reports. Local checks only — remote
+    /// reports carry the server's summary in `STATS` instead.
+    pub verbose: bool,
 }
 
 impl Default for CheckOpts {
     fn default() -> Self {
-        CheckOpts { depth: DepthPolicy::Auto, jobs: 1, memo: true, json: false }
+        CheckOpts { depth: DepthPolicy::Auto, jobs: 1, memo: true, json: false, verbose: false }
     }
 }
 
@@ -159,6 +163,9 @@ pub struct CheckReport {
     pub class: String,
     /// Depth budget the check ran under.
     pub depth: u32,
+    /// Static-analysis one-liner (`-v` local checks only): what the
+    /// engine decided — class, determinism, certified budget.
+    pub analysis: Option<String>,
 }
 
 /// Renders a check report as the human text block or as one JSON line —
@@ -240,7 +247,27 @@ pub fn render_check(name: &str, r: &CheckReport, json_out: bool) -> (String, Sta
         r.outcome.stats.specs_denied,
         if r.outcome.stats.specs_denied == 0 { " (exact)" } else { "" },
     );
+    if let Some(a) = &r.analysis {
+        let _ = writeln!(report, "  analysis: {a}");
+    }
     (report, status)
+}
+
+/// The `-v` one-liner: `pvx check -v` shows what the static analyzer
+/// decided for this DTD — recursion class, determinism, and whether the
+/// run used a certified (reduced) speculation budget or the full default.
+pub fn analysis_summary(analysis: &DtdAnalysis, spec_budget: u32) -> String {
+    let report = pv_dtd::StaticReport::analyze(analysis);
+    let det = if report.deterministic() {
+        "deterministic".to_owned()
+    } else {
+        format!("1-ambiguous ({} models)", report.ambiguous().count())
+    };
+    let budget = match report.certified_budget() {
+        Some(b) => format!("certified budget {b} (full {})", report.budget.full_budget),
+        None => format!("uncertified (full budget {spec_budget})"),
+    };
+    format!("{}, {det}, {budget}", report.class)
 }
 
 /// Renders a check-level *error* (unreadable file, malformed document,
@@ -275,6 +302,9 @@ pub fn cmd_check(ctx: &DtdContext, name: &str, doc: &Document, opts: &CheckOpts)
         source: ctx.source.clone(),
         class: ctx.analysis.rec.class.to_string(),
         depth: checker.depth(),
+        analysis: opts
+            .verbose
+            .then(|| analysis_summary(&ctx.analysis, checker.spec_budget())),
     };
     render_check(name, &report, opts.json)
 }
@@ -390,6 +420,7 @@ pub fn cmd_check_remote(
                 source: remote.label,
                 class: remote.class,
                 depth: remote.depth,
+                analysis: None,
             };
             render_check(name, &report, opts.json)
         }
@@ -489,6 +520,9 @@ pub fn cmd_check_stream(
         source: ctx.source.clone(),
         class: ctx.analysis.rec.class.to_string(),
         depth: checker.depth(),
+        analysis: opts
+            .verbose
+            .then(|| analysis_summary(&ctx.analysis, checker.spec_budget())),
     };
     render_check(name, &report, opts.json)
 }
@@ -514,6 +548,7 @@ pub fn cmd_check_stream_remote(
                 source: remote.label,
                 class: remote.class,
                 depth: remote.depth,
+                analysis: None,
             };
             render_check(name, &report, opts.json)
         }
@@ -809,6 +844,140 @@ pub fn cmd_lint(ctx: &DtdContext) -> (String, Status) {
         let _ = writeln!(report, "clean: no findings for {} element types", a.stats.m);
     }
     (report, Status::Ok)
+}
+
+/// `pvx analyze`: the full static-analysis report — recursion class,
+/// per-model determinism witnesses, and speculation-budget certification.
+///
+/// Exit codes: `0` when the DTD is budget-certified, `1` when flagged
+/// (PV-strong recursive or static bound past the runtime budget), `2`
+/// when the DTD itself cannot be resolved/compiled (handled upstream).
+/// `--json` emits one line with a stable schema: `ok`, `dtd`, `root`,
+/// `class`, `elements`, `deterministic`, `ambiguous` (array of
+/// `{element, symbol, witness}`), `budget` (`{certified, applied, full,
+/// static_bound, reason, witness}`), and top-level `certified`.
+pub fn cmd_analyze(ctx: &DtdContext, json_out: bool) -> (String, Status) {
+    let a = &ctx.analysis;
+    let report = pv_dtd::StaticReport::analyze(a);
+    let status = if report.budget.is_certified() { Status::Ok } else { Status::Failed };
+
+    if json_out {
+        let mut line = String::from("{\"ok\":true,\"dtd\":");
+        json::write_str(&mut line, &ctx.source);
+        line.push_str(",\"root\":");
+        json::write_str(&mut line, a.name(a.root));
+        line.push_str(",\"class\":");
+        json::write_str(&mut line, &report.class.to_string());
+        let _ = write!(
+            line,
+            ",\"elements\":{},\"deterministic\":{},\"ambiguous\":[",
+            a.stats.m,
+            report.deterministic()
+        );
+        for (i, m) in report.ambiguous().enumerate() {
+            let pv_dtd::Determinism::Ambiguous(w) = &m.determinism else { continue };
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str("{\"element\":");
+            json::write_str(&mut line, a.name(m.elem));
+            line.push_str(",\"symbol\":");
+            json::write_str(&mut line, &w.symbol);
+            line.push_str(",\"witness\":");
+            json::write_str(&mut line, &w.to_string());
+            line.push('}');
+        }
+        let b = &report.budget;
+        let _ = write!(
+            line,
+            "],\"budget\":{{\"certified\":{},\"applied\":{},\"full\":{}",
+            b.is_certified(),
+            b.applied_budget(),
+            b.full_budget
+        );
+        match b.static_bound {
+            Some(s) => {
+                let _ = write!(line, ",\"static_bound\":{s}");
+            }
+            None => line.push_str(",\"static_bound\":null"),
+        }
+        match &b.verdict {
+            pv_dtd::BudgetVerdict::Certified { .. } => {
+                line.push_str(",\"reason\":null,\"witness\":[]");
+            }
+            pv_dtd::BudgetVerdict::Flagged { reason, witness } => {
+                line.push_str(",\"reason\":");
+                json::write_str(&mut line, reason);
+                line.push_str(",\"witness\":[");
+                for (i, w) in witness.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    json::write_str(&mut line, w);
+                }
+                line.push(']');
+            }
+        }
+        let _ = write!(line, "}},\"certified\":{}}}", b.is_certified());
+        line.push('\n');
+        return (line, status);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "dtd: {} (root <{}>)", ctx.source, a.name(a.root));
+    let _ = writeln!(out, "  class: {}", report.class);
+    let ambiguous = report.ambiguous().count();
+    if ambiguous == 0 {
+        let _ = writeln!(
+            out,
+            "  determinism: all {} content models 1-unambiguous",
+            a.stats.m
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "  determinism: {ambiguous} of {} content models 1-ambiguous",
+            a.stats.m
+        );
+        for m in report.ambiguous() {
+            let pv_dtd::Determinism::Ambiguous(w) = &m.determinism else { continue };
+            let _ = writeln!(out, "    <{}>: {w}", a.name(m.elem));
+        }
+    }
+    let b = &report.budget;
+    match &b.verdict {
+        pv_dtd::BudgetVerdict::Certified { budget } => {
+            let _ = writeln!(
+                out,
+                "  budget: certified {budget} per symbol (full default {}, static bound {})",
+                b.full_budget,
+                b.static_bound.unwrap_or(0)
+            );
+            let _ = writeln!(
+                out,
+                "    certificate: at this budget every speculation round is exact \
+                 (specs_denied = 0) and the outcome is bit-identical to the full budget"
+            );
+        }
+        pv_dtd::BudgetVerdict::Flagged { reason, witness } => {
+            let _ = writeln!(out, "  budget: NOT certified — {reason}");
+            if !witness.is_empty() {
+                let _ = writeln!(out, "    witness chain: {}", witness.join(" -> "));
+            }
+            let _ = writeln!(
+                out,
+                "    checking runs with the full budget {} (verdicts unchanged; \
+                 speculation may be cut short on adversarial inputs)",
+                b.full_budget
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "verdict: {}",
+        if b.is_certified() { "certified" } else { "flagged" }
+    );
+    (out, status)
 }
 
 #[cfg(test)]

@@ -149,6 +149,12 @@ pub struct PvChecker<'a> {
     /// allocation, nothing else.
     dags: Arc<DagSet>,
     depth: u32,
+    /// Per-symbol speculation budget. Resolved at construction: the
+    /// statically certified budget when [`pv_dtd::budget::certify`]
+    /// produces one, the full default otherwise. Certificates only
+    /// shrink the budget, never change verdicts —
+    /// `tests/analyze_soundness.rs` proves the bit-identity.
+    spec_budget: u32,
     /// Shared for the same reason: a warm cache outliving any one checker
     /// view is the service's per-DTD state.
     memo: Option<Arc<ShapeCache>>,
@@ -160,26 +166,45 @@ impl<'a> PvChecker<'a> {
         Self::with_policy(analysis, DepthPolicy::Auto)
     }
 
-    /// Builds a checker with an explicit depth policy.
+    /// Builds a checker with an explicit depth policy. Runs the static
+    /// budget certifier and adopts its (possibly reduced) budget.
     pub fn with_policy(analysis: &'a DtdAnalysis, policy: DepthPolicy) -> Self {
         PvChecker {
             analysis,
             dags: Arc::new(DagSet::new(analysis)),
             depth: policy.resolve(analysis),
+            spec_budget: pv_dtd::budget::certify(analysis).applied_budget(),
             memo: Some(Arc::new(ShapeCache::new())),
         }
     }
 
     /// A checker view over pre-compiled shared parts (the engine's
-    /// per-request path: no DAG compilation, the warm shape cache is the
-    /// shared one). Outcomes are identical to a freshly built checker's.
+    /// per-request path: no DAG compilation, no re-certification, the
+    /// warm shape cache is the shared one). Outcomes are identical to a
+    /// freshly built checker's.
     pub(crate) fn from_shared(
         analysis: &'a DtdAnalysis,
         dags: Arc<DagSet>,
         memo: Option<Arc<ShapeCache>>,
         depth: u32,
+        spec_budget: u32,
     ) -> Self {
-        PvChecker { analysis, dags, depth, memo }
+        PvChecker { analysis, dags, depth, spec_budget, memo }
+    }
+
+    /// The per-symbol speculation budget in effect.
+    #[inline]
+    pub fn spec_budget(&self) -> u32 {
+        self.spec_budget
+    }
+
+    /// Overrides the speculation budget (differential tests and
+    /// benchmarks force the full default to compare against a certified
+    /// run). Raising the budget above the default never changes verdicts;
+    /// lowering it below a certified bound may deny speculation
+    /// (`specs_denied > 0`) — exactly what the soundness suite measures.
+    pub fn set_spec_budget(&mut self, budget: u32) {
+        self.spec_budget = budget;
     }
 
     /// Enables or disables shape memoization. Turning it off drops the
@@ -225,9 +250,8 @@ impl<'a> PvChecker<'a> {
     /// this checker's DAGs. The recognizer context is created here — once
     /// per scan or per parallel worker, not once per node.
     pub fn scratch(&self) -> CheckScratch<'_> {
-        let ctx = RecCtx::new(self.analysis, &self.dags);
         CheckScratch {
-            rec: EcRecognizer::new(ctx, self.analysis.root, self.depth),
+            rec: EcRecognizer::new(self.rec_ctx(), self.analysis.root, self.depth),
             syms: Vec::new(),
         }
     }
@@ -236,11 +260,23 @@ impl<'a> PvChecker<'a> {
     /// stash (see [`CheckScratch::into_stash`]). The stash carries no
     /// verdict state, so the scratch behaves exactly like a fresh one.
     pub fn scratch_from(&self, stash: ScratchStash) -> CheckScratch<'_> {
-        let ctx = RecCtx::new(self.analysis, &self.dags);
         CheckScratch {
-            rec: EcRecognizer::with_buffers(ctx, self.analysis.root, self.depth, stash.rec),
+            rec: EcRecognizer::with_buffers(
+                self.rec_ctx(),
+                self.analysis.root,
+                self.depth,
+                stash.rec,
+            ),
             syms: stash.syms,
         }
+    }
+
+    /// The recognizer context every execution path of this checker uses:
+    /// shared DAGs, reachability, and the resolved speculation budget.
+    /// Single construction point so local, parallel, streaming, and
+    /// suggestion paths can never disagree on the budget.
+    pub fn rec_ctx(&self) -> RecCtx<'_> {
+        RecCtx::with_budget(self.analysis, &self.dags, self.spec_budget)
     }
 
     /// The compiled DTD this checker runs against.

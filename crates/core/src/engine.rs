@@ -38,6 +38,7 @@ use crate::dag::DagSet;
 use crate::depth::DepthPolicy;
 use crate::memo::{MemoStats, ShapeCache};
 use crate::recognizer::RecognizerStats;
+use pv_dtd::budget::StaticReport;
 use pv_dtd::DtdAnalysis;
 use pv_par::Pool;
 use pv_xml::{Document, NodeId};
@@ -51,6 +52,11 @@ pub struct CheckEngine {
     analysis: Arc<DtdAnalysis>,
     dags: Arc<DagSet>,
     depth: u32,
+    /// Static analysis computed once at construction (the service's
+    /// preflight report, attached to every handle).
+    report: Arc<StaticReport>,
+    /// Budget derived from `report` — certified constant when one exists.
+    spec_budget: u32,
     memo: Option<Arc<ShapeCache>>,
 }
 
@@ -68,14 +74,21 @@ impl CheckEngine {
         Self::with_policy(analysis, DepthPolicy::Auto)
     }
 
-    /// Builds an engine with an explicit depth policy.
+    /// Builds an engine with an explicit depth policy. Runs the static
+    /// analyzer (determinism + budget certification) once; the report is
+    /// attached to the engine and its certified budget — when one exists
+    /// — is adopted by every derived checker view.
     pub fn with_policy(analysis: DtdAnalysis, policy: DepthPolicy) -> Arc<CheckEngine> {
         let depth = policy.resolve(&analysis);
         let dags = Arc::new(DagSet::new(&analysis));
+        let report = Arc::new(StaticReport::analyze(&analysis));
+        let spec_budget = report.budget.applied_budget();
         Arc::new(CheckEngine {
             analysis: Arc::new(analysis),
             dags,
             depth,
+            report,
+            spec_budget,
             memo: Some(Arc::new(ShapeCache::new())),
         })
     }
@@ -92,12 +105,31 @@ impl CheckEngine {
         self.depth
     }
 
+    /// The static-analysis report computed at construction.
+    #[inline]
+    pub fn report(&self) -> &Arc<StaticReport> {
+        &self.report
+    }
+
+    /// The per-symbol speculation budget every derived checker runs with.
+    #[inline]
+    pub fn spec_budget(&self) -> u32 {
+        self.spec_budget
+    }
+
     /// Derives a borrowing checker view sharing this engine's DAGs and
-    /// warm shape cache: two `Arc` clones, no compilation. Use it for any
-    /// sequential or scoped-parallel entry point; outcomes are identical
-    /// to a freshly built [`PvChecker`]'s.
+    /// warm shape cache: two `Arc` clones, no compilation and no
+    /// re-certification. Use it for any sequential or scoped-parallel
+    /// entry point; outcomes are identical to a freshly built
+    /// [`PvChecker`]'s.
     pub fn checker(&self) -> PvChecker<'_> {
-        PvChecker::from_shared(&self.analysis, self.dags.clone(), self.memo.clone(), self.depth)
+        PvChecker::from_shared(
+            &self.analysis,
+            self.dags.clone(),
+            self.memo.clone(),
+            self.depth,
+            self.spec_budget,
+        )
     }
 
     /// Telemetry snapshot of the shared shape cache.

@@ -92,19 +92,42 @@ use crate::token::ChildSym;
 use pv_dtd::{DtdAnalysis, ElemId, GroupSet, Reachability};
 
 /// Shared immutable context for a family of recognizers: the per-element
-/// DAGs and the reachability lookup table.
+/// DAGs, the reachability lookup table, and (optionally) a statically
+/// certified speculation budget.
 #[derive(Clone, Copy)]
 pub struct RecCtx<'a> {
     /// All element DAGs.
     pub dags: &'a DagSet,
     /// Reachability closure `LT`.
     pub reach: &'a Reachability,
+    /// Per-symbol speculation budget: `Some` when a static certificate
+    /// (or an explicit override) fixed it, `None` for the default
+    /// `max(32, (m+1)²)` formula.
+    budget: Option<u32>,
 }
 
 impl<'a> RecCtx<'a> {
-    /// Builds a context from a compiled DTD and its DAG set.
+    /// Builds a context from a compiled DTD and its DAG set, using the
+    /// default budget formula.
     pub fn new(analysis: &'a DtdAnalysis, dags: &'a DagSet) -> Self {
-        RecCtx { dags, reach: &analysis.reach }
+        RecCtx { dags, reach: &analysis.reach, budget: None }
+    }
+
+    /// Builds a context with a fixed per-symbol speculation budget —
+    /// normally one certified by [`pv_dtd::budget::certify`]. Soundness
+    /// contract: a certified budget parks the same requests in the same
+    /// agenda order as the default, so outcomes stay bit-identical.
+    pub fn with_budget(analysis: &'a DtdAnalysis, dags: &'a DagSet, budget: u32) -> Self {
+        RecCtx { dags, reach: &analysis.reach, budget: Some(budget) }
+    }
+
+    /// The per-symbol speculation budget this context runs with.
+    #[inline]
+    pub fn spec_budget(&self) -> u32 {
+        match self.budget {
+            Some(b) => b,
+            None => pv_dtd::budget::full_budget(self.reach.element_count()),
+        }
     }
 
     /// Proposition 2's star-group test: membership or reachability.
@@ -342,7 +365,7 @@ impl<'a> EcRecognizer<'a> {
     /// agenda actually holds, and rounds that would have needed more are
     /// flagged via [`RecognizerStats::specs_denied`] (`0` over a corpus
     /// certifies every verdict is budget-independent).
-    pub const SPEC_BUDGET_PER_SYMBOL: u32 = 32;
+    pub const SPEC_BUDGET_PER_SYMBOL: u32 = pv_dtd::budget::SPEC_FLOOR;
 
     /// Figure 5's `validate(x)`: feeds one symbol, returns `true` iff the
     /// content so far is still potentially valid.
@@ -356,8 +379,9 @@ impl<'a> EcRecognizer<'a> {
         // Every finite md value is < k, so k + 1 covers the globally
         // cheapest elision chain; (k + 1)² additionally covers the
         // side requests accompanying each chain level (see const docs).
-        let k1 = (self.ctx.reach.element_count() as u32).saturating_add(1);
-        let mut budget = Self::SPEC_BUDGET_PER_SYMBOL.max(k1.saturating_mul(k1));
+        // Contexts carrying a static certificate substitute their proven
+        // constant here (same parks, same order — see pv_dtd::budget).
+        let mut budget = self.ctx.spec_budget();
         if self.begin_round(x, stats) {
             return self.matched;
         }
@@ -826,8 +850,7 @@ impl<'a> EcRecognizer<'a> {
         syms: &[ChildSym],
         stats: &mut RecognizerStats,
     ) -> Option<usize> {
-        let k1 = (self.ctx.reach.element_count() as u32).saturating_add(1);
-        let full = Self::SPEC_BUDGET_PER_SYMBOL.max(k1.saturating_mul(k1));
+        let full = self.ctx.spec_budget();
         for (i, &x) in syms.iter().enumerate() {
             stats.symbols += 1;
             let accepted = if self.begin_round(x, stats) {

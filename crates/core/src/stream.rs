@@ -678,8 +678,7 @@ impl<'a> PvChecker<'a> {
     /// shape memo (the memo replays exact deltas, so all three paths
     /// coincide).
     pub fn stream_checker(&self) -> StreamChecker<'_> {
-        let ctx = RecCtx::new(self.analysis(), self.dags());
-        StreamChecker::new(self.analysis(), ctx, self.depth())
+        StreamChecker::new(self.analysis(), self.rec_ctx(), self.depth())
     }
 }
 

@@ -13,7 +13,7 @@
 //! tiny (`m + 1`).
 
 use crate::checker::PvChecker;
-use crate::recognizer::{EcRecognizer, RecCtx, RecognizerStats};
+use crate::recognizer::{EcRecognizer, RecognizerStats};
 use crate::token::{ChildSym, Tokens};
 use pv_dtd::ElemId;
 use pv_xml::{Document, NodeId};
@@ -26,7 +26,7 @@ pub fn expected_next(
     prefix: &[ChildSym],
 ) -> Vec<ChildSym> {
     let analysis = checker.analysis();
-    let ctx = RecCtx::new(analysis, checker.dags());
+    let ctx = checker.rec_ctx();
     let mut out = Vec::new();
     let candidates = analysis
         .dtd

@@ -1,0 +1,312 @@
+//! Glushkov follow-set construction and 1-unambiguity classification of
+//! PV-normalized content models.
+//!
+//! XML appendix E requires *deterministic* (1-unambiguous) content
+//! models: while matching children left to right, each next symbol must
+//! select at most one position of the model without lookahead. The
+//! classic test (Brüggemann-Klein & Wood) builds the Glushkov automaton —
+//! one state per atom *position* — and checks that no two distinct
+//! positions with overlapping symbol sets compete in the same `first` or
+//! `follow` set.
+//!
+//! This module runs that construction over the **normalized** model
+//! ([`NormCp`]): positions are [`Atom`]s (simple elements, `#PCDATA`, or
+//! flattened star-groups), and a star-group position is nullable with a
+//! self-loop in its own follow set (it denotes `(a1|…|an)*`). Because
+//! normalization drops `?` and widens `+` to `*` (Corollary 3.1 — both
+//! language-preserving under the PV grammar), the verdict describes the
+//! normalized model the recognizer actually executes; a handful of
+//! source-level ambiguities (e.g. `(a, a?)`) normalize away, which is
+//! exactly the right notion for certifying recognizer behaviour.
+//!
+//! On ambiguity the classifier returns a concrete [`AmbiguityWitness`]:
+//! the overlapping symbol plus the two competing positions, so `pvx
+//! analyze` can print *why* a model is non-deterministic instead of a
+//! bare boolean.
+
+use crate::ast::{Dtd, ElemId};
+use crate::normalize::{Atom, NormCp, NormModel};
+
+/// The 1-unambiguity verdict for one content model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Determinism {
+    /// No two competing positions overlap: matching never needs lookahead.
+    Deterministic,
+    /// Two positions compete for the same symbol; the witness names them.
+    Ambiguous(AmbiguityWitness),
+}
+
+impl Determinism {
+    /// `true` for the deterministic verdict.
+    #[inline]
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self, Determinism::Deterministic)
+    }
+}
+
+/// A concrete 1-ambiguity: `symbol` can continue the match into either of
+/// two distinct Glushkov positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AmbiguityWitness {
+    /// The overlapping symbol (an element name, or `#PCDATA`).
+    pub symbol: String,
+    /// Rendered form of the first competing position.
+    pub first: String,
+    /// Rendered form of the second competing position.
+    pub second: String,
+    /// Where the competition happens: `None` for the model's `first` set,
+    /// `Some(p)` for the follow set of position `p` (rendered).
+    pub after: Option<String>,
+}
+
+impl std::fmt::Display for AmbiguityWitness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.after {
+            None => write!(
+                f,
+                "symbol {} opens both {} and {}",
+                self.symbol, self.first, self.second
+            ),
+            Some(p) => write!(
+                f,
+                "after {}, symbol {} continues into both {} and {}",
+                p, self.symbol, self.first, self.second
+            ),
+        }
+    }
+}
+
+/// Classifies one normalized model. `ANY` models are trivially
+/// deterministic (they match by element-set membership, no positions).
+pub fn model_determinism(dtd: &Dtd, model: &NormModel) -> Determinism {
+    let NormModel::Expr(expr) = model else {
+        return Determinism::Deterministic;
+    };
+    let mut g = Glushkov { positions: Vec::new(), follow: Vec::new() };
+    let unit = g.build(expr);
+    // Conflicts in `first`, then in each position's follow set.
+    if let Some(w) = g.conflict(dtd, &unit.first, None) {
+        return Determinism::Ambiguous(w);
+    }
+    for p in 0..g.positions.len() {
+        if let Some(w) = g.conflict(dtd, &g.follow[p], Some(p)) {
+            return Determinism::Ambiguous(w);
+        }
+    }
+    Determinism::Deterministic
+}
+
+/// Nullable/first/last summary of one subexpression during construction.
+struct Unit {
+    nullable: bool,
+    first: Vec<usize>,
+    last: Vec<usize>,
+}
+
+/// Construction state: `positions[p]` is atom `p` in walk order, and
+/// `follow[p]` its accumulated follow set.
+struct Glushkov<'a> {
+    positions: Vec<&'a Atom>,
+    follow: Vec<Vec<usize>>,
+}
+
+impl<'a> Glushkov<'a> {
+    fn build(&mut self, cp: &'a NormCp) -> Unit {
+        match cp {
+            NormCp::Atom(a) => {
+                let p = self.positions.len();
+                self.positions.push(a);
+                self.follow.push(Vec::new());
+                // A star-group matches any member sequence including ε:
+                // nullable, and it follows itself.
+                let group = matches!(a, Atom::Group(_));
+                if group {
+                    self.follow[p].push(p);
+                }
+                Unit { nullable: group, first: vec![p], last: vec![p] }
+            }
+            NormCp::Seq(cs) => {
+                let mut acc = Unit { nullable: true, first: Vec::new(), last: Vec::new() };
+                for c in cs {
+                    let u = self.build(c);
+                    for &p in &acc.last {
+                        self.follow[p].extend_from_slice(&u.first);
+                    }
+                    if acc.nullable {
+                        acc.first.extend_from_slice(&u.first);
+                    }
+                    if u.nullable {
+                        acc.last.extend_from_slice(&u.last);
+                    } else {
+                        acc.last = u.last;
+                    }
+                    acc.nullable &= u.nullable;
+                }
+                acc
+            }
+            NormCp::Choice(cs) => {
+                let mut acc = Unit { nullable: false, first: Vec::new(), last: Vec::new() };
+                for c in cs {
+                    let u = self.build(c);
+                    acc.nullable |= u.nullable;
+                    acc.first.extend(u.first);
+                    acc.last.extend(u.last);
+                }
+                acc
+            }
+        }
+    }
+
+    /// First overlapping pair among distinct positions of `set`, if any.
+    fn conflict(&self, dtd: &Dtd, set: &[usize], after: Option<usize>) -> Option<AmbiguityWitness> {
+        for (i, &p) in set.iter().enumerate() {
+            for &q in &set[i + 1..] {
+                if p == q {
+                    continue;
+                }
+                if let Some(symbol) = shared_symbol(dtd, self.positions[p], self.positions[q]) {
+                    return Some(AmbiguityWitness {
+                        symbol,
+                        first: render_atom(dtd, self.positions[p.min(q)]),
+                        second: render_atom(dtd, self.positions[p.max(q)]),
+                        after: after.map(|a| render_atom(dtd, self.positions[a])),
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A symbol both atoms can match, if one exists (element name or
+/// `#PCDATA`). Membership is direct (appendix-E determinism), not the
+/// recognizer's reachability-widened group test.
+fn shared_symbol(dtd: &Dtd, a: &Atom, b: &Atom) -> Option<String> {
+    let elem = |id: ElemId| dtd.name(id).to_owned();
+    match (a, b) {
+        (Atom::Simple(x), Atom::Simple(y)) => (x == y).then(|| elem(*x)),
+        (Atom::Simple(x), Atom::Group(g)) | (Atom::Group(g), Atom::Simple(x)) => {
+            g.contains(*x).then(|| elem(*x))
+        }
+        (Atom::Pcdata, Atom::Pcdata) => Some("#PCDATA".to_owned()),
+        (Atom::Pcdata, Atom::Group(g)) | (Atom::Group(g), Atom::Pcdata) => {
+            g.pcdata.then(|| "#PCDATA".to_owned())
+        }
+        (Atom::Group(g), Atom::Group(h)) => {
+            if let Some(&x) = g.elems.iter().find(|x| h.contains(**x)) {
+                return Some(elem(x));
+            }
+            (g.pcdata && h.pcdata).then(|| "#PCDATA".to_owned())
+        }
+        (Atom::Simple(_), Atom::Pcdata) | (Atom::Pcdata, Atom::Simple(_)) => None,
+    }
+}
+
+/// Human-readable rendering of one position.
+fn render_atom(dtd: &Dtd, a: &Atom) -> String {
+    match a {
+        Atom::Simple(x) => format!("<{}>", dtd.name(*x)),
+        Atom::Pcdata => "#PCDATA".to_owned(),
+        Atom::Group(g) => {
+            let mut s = String::from("(");
+            for (i, &x) in g.elems.iter().enumerate() {
+                if i > 0 || g.pcdata {
+                    s.push('|');
+                }
+                s.push_str(dtd.name(x));
+            }
+            if g.pcdata {
+                s.insert_str(1, "#PCDATA");
+            }
+            s.push_str(")*");
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+
+    fn det_of(src: &str, elem: &str) -> Determinism {
+        let dtd = Dtd::parse(src).unwrap();
+        let norm = normalize(&dtd);
+        model_determinism(&dtd, norm.model(dtd.id(elem).unwrap()))
+    }
+
+    const DECLS: &str = "<!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY>";
+
+    #[test]
+    fn common_prefix_choice_is_ambiguous() {
+        let d = det_of(&format!("<!ELEMENT x ((a, b) | (a, c))>{DECLS}"), "x");
+        let Determinism::Ambiguous(w) = d else { panic!("expected ambiguity, got {d:?}") };
+        assert_eq!(w.symbol, "a");
+        assert!(w.after.is_none(), "{w:?}");
+        assert_eq!(w.first, "<a>");
+        assert_eq!(w.second, "<a>");
+    }
+
+    #[test]
+    fn star_then_same_element_is_ambiguous() {
+        // (a*, a): after zero or more a's, the next a fits the group or
+        // the simple position — the textbook 1-ambiguity.
+        let d = det_of(&format!("<!ELEMENT x (a*, a)>{DECLS}"), "x");
+        let Determinism::Ambiguous(w) = d else { panic!("{d:?}") };
+        assert_eq!(w.symbol, "a");
+        assert!(w.to_string().contains("both"), "{w}");
+    }
+
+    #[test]
+    fn follow_conflict_reports_the_anchor() {
+        // (b, (a*, a)): the conflict lives in follow(b), not first.
+        let d = det_of(&format!("<!ELEMENT x (b, a*, a)>{DECLS}"), "x");
+        let Determinism::Ambiguous(w) = d else { panic!("{d:?}") };
+        assert_eq!(w.symbol, "a");
+    }
+
+    #[test]
+    fn overlapping_groups_are_ambiguous() {
+        let d = det_of(&format!("<!ELEMENT x (a*, (a | b)*)>{DECLS}"), "x");
+        let Determinism::Ambiguous(w) = d else { panic!("{d:?}") };
+        assert_eq!(w.symbol, "a");
+    }
+
+    #[test]
+    fn deterministic_models_pass() {
+        for model in ["((a | b), b)", "(a, b, c)", "(a, (b | c)*)", "(a | b | c)"] {
+            let d = det_of(&format!("<!ELEMENT x {model}>{DECLS}"), "x");
+            assert!(d.is_deterministic(), "{model}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn pcdata_and_mixed_models_are_deterministic() {
+        assert!(det_of("<!ELEMENT x (#PCDATA)>", "x").is_deterministic());
+        assert!(det_of(&format!("<!ELEMENT x (#PCDATA | a | b)*>{DECLS}"), "x")
+            .is_deterministic());
+    }
+
+    #[test]
+    fn any_and_empty_are_deterministic() {
+        assert!(det_of("<!ELEMENT x ANY>", "x").is_deterministic());
+        assert!(det_of("<!ELEMENT x EMPTY>", "x").is_deterministic());
+    }
+
+    #[test]
+    fn pcdata_conflicts_between_mixed_groups() {
+        // XML syntax only allows one top-level mixed group, so build the
+        // adjacent-mixed-groups model directly on the normalized form.
+        use crate::normalize::GroupSet;
+        let dtd = Dtd::parse(DECLS).unwrap();
+        let a = dtd.id("a").unwrap();
+        let b = dtd.id("b").unwrap();
+        let expr = NormCp::Seq(vec![
+            NormCp::Atom(Atom::Group(GroupSet::new([a], true))),
+            NormCp::Atom(Atom::Group(GroupSet::new([b], true))),
+        ]);
+        let d = model_determinism(&dtd, &NormModel::Expr(expr));
+        let Determinism::Ambiguous(w) = d else { panic!("{d:?}") };
+        assert_eq!(w.symbol, "#PCDATA");
+    }
+}

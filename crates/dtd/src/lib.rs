@@ -23,12 +23,20 @@
 //!
 //! The one-stop entry point for checkers is [`analysis::DtdAnalysis`], which
 //! bundles the normalized models, lookup table, classification and stats.
+//! On top of it sits the static analyzer ([`budget::StaticReport`]):
+//! Glushkov determinism classification ([`glushkov`]) and speculation-budget
+//! certification ([`budget`]), consumed by engines and the service at load
+//! time.
+
+#![warn(missing_docs)]
 
 pub mod analysis;
 pub mod ast;
+pub mod budget;
 pub mod builtin;
 pub mod classify;
 pub mod error;
+pub mod glushkov;
 pub mod normalize;
 pub mod parser;
 pub mod reach;
@@ -37,7 +45,9 @@ pub mod usable;
 
 pub use analysis::DtdAnalysis;
 pub use ast::{ContentSpec, Cp, Dtd, ElemId, ElementDecl};
+pub use budget::{BudgetReport, BudgetVerdict, StaticReport};
 pub use classify::{DtdClass, RecursionInfo};
+pub use glushkov::{AmbiguityWitness, Determinism};
 pub use error::{DtdError, DtdErrorKind};
 pub use normalize::{Atom, GroupSet, NormCp, NormModel, NormalizedDtd};
 pub use reach::Reachability;

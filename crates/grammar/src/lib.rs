@@ -28,6 +28,8 @@
 //!   code-independent implementation of content-model matching that
 //!   cross-checks the NFA validator.
 
+#![warn(missing_docs)]
+
 pub mod derivative;
 pub mod earley;
 pub mod ecfg;

@@ -81,6 +81,13 @@ pub struct GovernorConfig {
     pub limits: Limits,
     /// Access-log destination.
     pub log: LogSink,
+    /// Refuse `LOAD`/`BUILTIN` of DTDs the static analyzer cannot
+    /// budget-certify (PV-strong recursive, or bound past the runtime
+    /// budget). Off by default — uncertified DTDs are fully supported,
+    /// they just run with the full budget; strict mode is for
+    /// deployments that want the `specs_denied == 0` guarantee on every
+    /// loaded handle (`pvx serve --strict-load`).
+    pub strict_load: bool,
 }
 
 impl Default for GovernorConfig {
@@ -94,6 +101,7 @@ impl Default for GovernorConfig {
             drain_deadline: Duration::from_secs(5),
             limits: Limits::default(),
             log: LogSink::Null,
+            strict_load: false,
         }
     }
 }

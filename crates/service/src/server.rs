@@ -257,6 +257,20 @@ impl ServiceState {
         }
         let (analysis, label) = build()?;
         let engine = CheckEngine::new(analysis);
+        if self.gov.config.strict_load {
+            if let pv_dtd::BudgetVerdict::Flagged { reason, witness } =
+                &engine.report().budget.verdict
+            {
+                let chain = if witness.is_empty() {
+                    String::new()
+                } else {
+                    format!(" (witness: {})", witness.join(" -> "))
+                };
+                return Err(format!(
+                    "strict-load: {label} is not budget-certified: {reason}{chain}"
+                ));
+            }
+        }
         let entry = Arc::new(DtdEntry { engine, label });
         let mut interned = self.interned.write().unwrap();
         // Double-checked under the write lock: a racing loader wins once.
@@ -1141,6 +1155,8 @@ fn handle_request(req: Request, state: &Arc<ServiceState>) -> String {
                     Some(m) => json::write_memo(&mut out, &m),
                     None => out.push_str("null"),
                 }
+                out.push_str(",\"analysis\":");
+                write_analysis(&mut out, &entry.engine);
                 out.push('}');
             }
             out.push_str("]}");
@@ -1224,13 +1240,33 @@ fn load_response(result: Result<(String, Arc<DtdEntry>), String>) -> String {
             json::write_str(&mut out, &a.rec.class.to_string());
             let _ = write!(
                 out,
-                ",\"elements\":{},\"depth\":{}}}",
+                ",\"elements\":{},\"depth\":{}",
                 a.stats.m,
                 entry.engine.depth()
             );
+            out.push_str(",\"analysis\":");
+            write_analysis(&mut out, &entry.engine);
+            out.push('}');
             out
         }
     }
+}
+
+/// The static-analysis summary attached to a handle (`LOAD`/`BUILTIN`
+/// responses and per-DTD `STATS` entries): certification verdict, the
+/// budget actually in effect vs the full default, and determinism.
+fn write_analysis(out: &mut String, engine: &CheckEngine) {
+    let report = engine.report();
+    let _ = write!(
+        out,
+        "{{\"certified\":{},\"budget\":{},\"full_budget\":{},\"deterministic\":{},\
+         \"ambiguous_models\":{}}}",
+        report.budget.is_certified(),
+        engine.spec_budget(),
+        report.budget.full_budget,
+        report.deterministic(),
+        report.ambiguous().count(),
+    );
 }
 
 fn check_response(outcome: &pv_core::checker::PvOutcome, entry: &DtdEntry, memo: bool) -> String {

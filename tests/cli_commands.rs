@@ -2,7 +2,10 @@
 //! on-disk-style inputs (documents carrying their DTD in the internal
 //! subset — the self-contained file format the tool is built around).
 
-use pv_cli::{cmd_check, cmd_classify, cmd_complete, cmd_lint, cmd_validate, resolve_dtd, CheckOpts, Status};
+use pv_cli::{
+    cmd_analyze, cmd_check, cmd_classify, cmd_complete, cmd_lint, cmd_validate, resolve_dtd,
+    CheckOpts, Status,
+};
 use pv_core::depth::DepthPolicy;
 
 const FIG1_SUBSET: &str = "
@@ -97,6 +100,72 @@ fn lint_flags_pv_strong_builtins() {
         let (report, _) = cmd_lint(&ctx);
         assert!(report.contains("PV-strong"), "{name}: {report}");
     }
+}
+
+/// `pvx analyze` exit codes are part of the CLI contract: 0 = budget
+/// certified, 1 = flagged (analysis ran, certification refused). The
+/// third code (2 = error) is the usual `die` path for unresolvable DTDs.
+#[test]
+fn analyze_exit_codes_track_certification() {
+    let certified = ["figure1", "xhtml-basic", "tei-lite", "play"];
+    let flagged = ["t1", "t2", "dissertation"];
+    for name in certified {
+        let ctx = resolve_dtd(None, None, Some(name), None).unwrap();
+        let (report, status) = cmd_analyze(&ctx, false);
+        assert_eq!(status, Status::Ok, "{name}: {report}");
+        assert!(report.contains("verdict: certified"), "{name}: {report}");
+        assert!(report.contains("budget: certified"), "{name}: {report}");
+    }
+    for name in flagged {
+        let ctx = resolve_dtd(None, None, Some(name), None).unwrap();
+        let (report, status) = cmd_analyze(&ctx, false);
+        assert_eq!(status, Status::Failed, "{name}: {report}");
+        assert!(report.contains("verdict: flagged"), "{name}: {report}");
+        assert!(report.contains("witness chain:"), "{name}: {report}");
+    }
+}
+
+/// The JSON schema is stable and machine-readable: every key the CI
+/// analyze-smoke job greps for must be present, on one line.
+#[test]
+fn analyze_json_schema_is_stable() {
+    let ctx = resolve_dtd(None, None, Some("figure1"), None).unwrap();
+    let (report, status) = cmd_analyze(&ctx, true);
+    assert_eq!(status, Status::Ok);
+    assert_eq!(report.lines().count(), 1, "JSON output must be one line: {report}");
+    for key in [
+        "\"ok\":", "\"dtd\":", "\"root\":", "\"class\":", "\"elements\":",
+        "\"deterministic\":", "\"ambiguous\":", "\"budget\":", "\"certified\":",
+        "\"applied\":", "\"full\":", "\"static_bound\":", "\"reason\":", "\"witness\":",
+    ] {
+        assert!(report.contains(key), "missing {key}: {report}");
+    }
+    assert!(report.contains("\"certified\":true"), "{report}");
+
+    let (flagged, status) = cmd_analyze(&resolve_dtd(None, None, Some("t1"), None).unwrap(), true);
+    assert_eq!(status, Status::Failed);
+    assert!(flagged.contains("\"certified\":false"), "{flagged}");
+    assert!(flagged.contains("\"reason\":\""), "{flagged}");
+}
+
+/// `pvx check -v` appends the one-line analysis summary; without the
+/// flag the report is unchanged.
+#[test]
+fn check_verbose_appends_analysis_summary() {
+    let doc = doc_with_subset("<r><a><b>x</b><c>y</c> dog<e/></a></r>");
+    let ctx = resolve_dtd(None, None, None, Some(&doc)).unwrap();
+    let quiet = cmd_check(&ctx, "s.xml", &doc, &CheckOpts::default()).0;
+    assert!(!quiet.contains("analysis:"), "{quiet}");
+    let verbose = cmd_check(
+        &ctx,
+        "s.xml",
+        &doc,
+        &CheckOpts { verbose: true, ..CheckOpts::default() },
+    )
+    .0;
+    assert!(verbose.contains("analysis:"), "{verbose}");
+    assert!(verbose.contains("certified budget"), "{verbose}");
+    assert!(verbose.contains("deterministic"), "{verbose}");
 }
 
 #[test]

@@ -601,3 +601,59 @@ fn batch_stream_client_misuse_is_rejected_before_the_wire() {
     drop(client);
     server.join();
 }
+
+/// `--strict-load`: a governed server refuses to intern DTDs the static
+/// analyzer cannot budget-certify, names the reason on the wire, and
+/// keeps serving certified DTDs on the same connection. The default
+/// (permissive) server loads the same DTD fine, and both surface the
+/// analysis block on `LOAD` responses and per-DTD `STATS` entries.
+#[test]
+fn strict_load_refuses_uncertified_dtds() {
+    // Permissive default: the flagged builtin loads, with its analysis
+    // attached (certified=false, budget == full_budget).
+    let (server, mut client) = start_server();
+    client.load_builtin("t1").unwrap();
+    let stats = client.stats().unwrap();
+    let dtds = stats.get("dtds").unwrap().as_arr().unwrap();
+    let analysis = dtds[0].get("analysis").expect("STATS entry carries analysis");
+    assert_eq!(analysis.get("certified").unwrap().as_bool(), Some(false));
+    assert_eq!(
+        analysis.get("budget").unwrap().as_u64(),
+        analysis.get("full_budget").unwrap().as_u64(),
+        "flagged DTD must run the full budget"
+    );
+    client.shutdown().unwrap();
+    drop(client);
+    server.join();
+
+    // Strict: certified loads succeed (reduced budget visible in the
+    // analysis block), flagged loads are refused with the reason.
+    let server = Server::bind_with(
+        &Endpoint::parse("127.0.0.1:0"),
+        2,
+        GovernorConfig { strict_load: true, ..GovernorConfig::default() },
+    )
+    .expect("bind on port 0");
+    let mut client = Client::connect_endpoint(server.endpoint()).unwrap();
+    let fig1 = client.load_builtin("figure1").unwrap();
+    let err = client.load_builtin("t1").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("strict-load"), "{msg}");
+    assert!(msg.contains("not budget-certified"), "{msg}");
+    // The connection survives the refusal and checks run bit-identically.
+    let xml = "<r><a><b>x</b><c>y</c> dog<e/></a></r>";
+    let got = client.check(&fig1.handle, xml, 1, true).unwrap();
+    assert_eq!(got.outcome, expect_outcome(BuiltinDtd::Figure1, xml));
+    let stats = client.stats().unwrap();
+    let dtds = stats.get("dtds").unwrap().as_arr().unwrap();
+    assert_eq!(dtds.len(), 1, "the refused DTD must not be interned");
+    let analysis = dtds[0].get("analysis").unwrap();
+    assert_eq!(analysis.get("certified").unwrap().as_bool(), Some(true));
+    assert!(
+        analysis.get("budget").unwrap().as_u64() < analysis.get("full_budget").unwrap().as_u64(),
+        "certified DTD must run a reduced budget"
+    );
+    client.shutdown().unwrap();
+    drop(client);
+    server.join();
+}
