@@ -4,11 +4,11 @@
 
 use pv_cli::{
     cmd_analyze, cmd_bench_serve, cmd_check, cmd_check_remote, cmd_check_stream,
-    cmd_check_stream_remote, cmd_classify, cmd_complete, cmd_lint, cmd_validate,
-    render_check_error, resolve_dtd, BenchServeOpts, CheckOpts, RemoteTarget, Status,
+    cmd_check_stream_remote, cmd_classify, cmd_complete, cmd_lint, cmd_top, cmd_validate,
+    render_check_error, resolve_dtd, BenchServeOpts, CheckOpts, RemoteTarget, Status, TopOpts,
 };
 use pv_core::depth::DepthPolicy;
-use pv_service::{Endpoint, GovernorConfig, LogSink, Server};
+use pv_service::{metrics_http, Endpoint, GovernorConfig, LogSink, Server};
 use std::time::Duration;
 
 const USAGE: &str = "\
@@ -27,6 +27,8 @@ USAGE:
                [--max-inflight N] [--idle-timeout-ms N] [--read-timeout-ms N]
                [--write-timeout-ms N] [--drain-ms N] [--max-payload BYTES]
                [--max-request BYTES] [--access-log] [--strict-load]
+               [--metrics-port N]
+  pvx top      ADDR [--interval-ms N] [--count N]
   pvx bench-serve --remote ADDR[,ADDR...] [--builtin NAME] [--doc FILE]
                [--requests N] [--concurrency N] [--flood N]
                [--stream [--chunk-size N] [--streams N]] [--json]
@@ -83,9 +85,20 @@ request (op, handle, bytes, duration, verdict, disposition) to stderr.
 --strict-load refuses LOAD/BUILTIN of DTDs the static analyzer cannot
 budget-certify (see `pvx analyze`).
 
+`pvx serve --metrics-port N` additionally serves the telemetry registry
+over HTTP on 127.0.0.1:N: GET /metrics answers in the Prometheus text
+exposition format, GET /metrics.json mirrors the wire protocol's
+METRICS verb (counters, gauges, latency histograms with
+p50/p95/p99/max, recent slow-request traces). `pvx top ADDR` polls
+METRICS and renders a live terminal view of the same data — request
+rate, stage-level latency, memo hit rate, pool and governor pressure
+(--interval-ms, default 1000; --count N prints N frames and exits,
+0 = until interrupted).
+
 `pvx bench-serve` measures a server honestly: every request counts as
 exactly one of ok / shed (server said busy or draining) / error, so
-throughput and shed rate are real. --flood holds N extra idle
+throughput and shed rate are real. Completed checks feed a latency
+histogram reported as p50/p95/p99/max. --flood holds N extra idle
 connections open to push a --max-conns-limited server into shedding.
 With --stream each request uploads the document as CHECK_STREAM chunks
 (default 64 KiB, --chunk-size N); --streams N multiplexes N interleaved
@@ -125,6 +138,9 @@ struct Args {
     flood: Option<usize>,
     streams: Option<usize>,
     doc_file: Option<String>,
+    metrics_port: Option<u16>,
+    interval_ms: Option<u64>,
+    count: Option<usize>,
     docs: Vec<String>,
 }
 
@@ -162,6 +178,9 @@ fn parse_args() -> Result<Args, String> {
         flood: None,
         streams: None,
         doc_file: None,
+        metrics_port: None,
+        interval_ms: None,
+        count: None,
         docs: Vec::new(),
     };
     let need_value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -245,6 +264,23 @@ fn parse_args() -> Result<Args, String> {
                 args.flood = Some(v.parse().map_err(|_| format!("bad --flood {v:?}"))?);
             }
             "--doc" => args.doc_file = Some(need_value(&mut argv, "--doc")?),
+            "--metrics-port" => {
+                let v = need_value(&mut argv, "--metrics-port")?;
+                args.metrics_port =
+                    Some(v.parse().map_err(|_| format!("bad --metrics-port {v:?}"))?);
+            }
+            "--interval-ms" => {
+                let v = need_value(&mut argv, "--interval-ms")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad --interval-ms {v:?}"))?;
+                if n == 0 {
+                    return Err("--interval-ms must be at least 1".to_owned());
+                }
+                args.interval_ms = Some(n);
+            }
+            "--count" => {
+                let v = need_value(&mut argv, "--count")?;
+                args.count = Some(v.parse().map_err(|_| format!("bad --count {v:?}"))?);
+            }
             "--streams" => {
                 let v = need_value(&mut argv, "--streams")?;
                 let n: usize = v.parse().map_err(|_| format!("bad --streams {v:?}"))?;
@@ -326,10 +362,32 @@ fn cmd_serve(args: &Args) -> ! {
                 handle.endpoint(),
                 pv_par::effective_jobs(jobs)
             );
+            if let Some(port) = args.metrics_port {
+                let bind = format!("127.0.0.1:{port}");
+                match metrics_http::serve_metrics(&bind, handle.metrics_source()) {
+                    Err(e) => die(&format!("cannot bind metrics endpoint {bind}: {e}")),
+                    Ok((addr, _scraper)) => {
+                        println!("pvx serve: metrics on http://{addr}/metrics");
+                    }
+                }
+            }
             handle.join();
             std::process::exit(0);
         }
     }
+}
+
+fn cmd_top_main(args: &Args) -> ! {
+    let addr = match args.docs.as_slice() {
+        [addr] => addr.clone(),
+        _ => die("top needs exactly one ADDR (socket path or host:port)"),
+    };
+    let opts = TopOpts {
+        addr,
+        interval: Duration::from_millis(args.interval_ms.unwrap_or(1000)),
+        count: args.count.unwrap_or(0),
+    };
+    std::process::exit(cmd_top(&opts).code());
 }
 
 /// A small valid document per built-in, for `bench-serve` runs that
@@ -431,6 +489,9 @@ fn main() {
 
     if args.command == "serve" {
         cmd_serve(&args);
+    }
+    if args.command == "top" {
+        cmd_top_main(&args);
     }
     if args.command == "bench-serve" {
         cmd_bench(&args);

@@ -317,8 +317,9 @@ pub fn cmd_check(ctx: &DtdContext, name: &str, doc: &Document, opts: &CheckOpts)
 pub enum RemoteTarget {
     /// One backend, one connection.
     Single(pv_service::Client),
-    /// N backends behind the consistent-hash router.
-    Multi(pv_service::MultiClient),
+    /// N backends behind the consistent-hash router (boxed: the router
+    /// carries ring, spec, and telemetry state a plain client doesn't).
+    Multi(Box<pv_service::MultiClient>),
 }
 
 impl RemoteTarget {
@@ -338,10 +339,10 @@ impl RemoteTarget {
                     "no backend addresses given",
                 ));
             }
-            Ok(RemoteTarget::Multi(pv_service::MultiClient::new(
+            Ok(RemoteTarget::Multi(Box::new(pv_service::MultiClient::new(
                 &addrs,
                 pv_service::RouterConfig::default(),
-            )))
+            ))))
         } else {
             pv_service::Client::connect(addr).map(RemoteTarget::Single)
         }
@@ -612,12 +613,19 @@ pub fn cmd_bench_serve(opts: &BenchServeOpts) -> (String, Status) {
     let ok = AtomicUsize::new(0);
     let shed = AtomicUsize::new(0);
     let errors = AtomicUsize::new(0);
+    // Latency lives in a pv-obs histogram, not a per-worker Vec: the
+    // handle is one relaxed atomic add per request from any thread, and
+    // the percentiles come out of the same log-linear buckets the
+    // server's own telemetry uses.
+    let registry = pv_obs::Registry::new();
+    let latency = registry.histogram("pvx_bench_request_us");
     let workers = opts.concurrency.max(1);
     let t0 = std::time::Instant::now();
     std::thread::scope(|scope| {
         for w in 0..workers {
             let share = opts.requests / workers + usize::from(w < opts.requests % workers);
             let (addrs, ok, shed, errors) = (&addrs, &ok, &shed, &errors);
+            let latency = latency.clone();
             scope.spawn(move || {
                 let addr = &addrs[w % addrs.len()];
                 let mut conn: Option<(pv_service::Client, String)> = None;
@@ -647,6 +655,7 @@ pub fn cmd_bench_serve(opts: &BenchServeOpts) -> (String, Status) {
                     // multiplexing `streams` copies of the document. A
                     // batch counts ok only when every slot carried an
                     // outcome.
+                    let rt0 = latency.start();
                     let outcome = if opts.stream_chunk == 0 {
                         c.check(handle, &opts.xml, 1, true).map(|_| true)
                     } else if opts.streams <= 1 {
@@ -659,6 +668,11 @@ pub fn cmd_bench_serve(opts: &BenchServeOpts) -> (String, Status) {
                     };
                     match outcome {
                         Ok(true) => {
+                            // Only completed checks count toward the
+                            // latency distribution: a shed answer is
+                            // fast precisely because nothing ran, and
+                            // mixing it in would flatter the tail.
+                            latency.observe_since(rt0);
                             ok.fetch_add(1, Ordering::Relaxed);
                         }
                         Ok(false) => {
@@ -687,6 +701,7 @@ pub fn cmd_bench_serve(opts: &BenchServeOpts) -> (String, Status) {
     let rps = ok as f64 / elapsed.as_secs_f64().max(1e-9);
     let shed_rate = shed as f64 / (opts.requests.max(1)) as f64;
     let status = if errors == 0 { Status::Ok } else { Status::Error };
+    let lat = latency.snapshot();
     let mode = match (opts.stream_chunk, opts.streams) {
         (0, _) => "check".to_owned(),
         (chunk, s) if s <= 1 => format!("stream{chunk}"),
@@ -696,27 +711,183 @@ pub fn cmd_bench_serve(opts: &BenchServeOpts) -> (String, Status) {
         let line = format!(
             "{{\"group\":\"bench_serve\",\"id\":\"{}-{mode}-c{}-f{}\",\"requests\":{},\"ok\":{ok},\
              \"shed\":{shed},\"errors\":{errors},\"elapsed_ms\":{},\"rps\":{rps:.1},\
-             \"shed_rate\":{shed_rate:.4}}}\n",
+             \"shed_rate\":{shed_rate:.4},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\
+             \"max_us\":{}}}\n",
             opts.builtin,
             workers,
             opts.flood,
             opts.requests,
             elapsed.as_millis(),
+            lat.p50(),
+            lat.p95(),
+            lat.p99(),
+            lat.max,
         );
         (line, status)
     } else {
         (
             format!(
                 "bench-serve: {} {mode} requests, {} workers, flood {} → ok {ok}, shed {shed}, \
-                 errors {errors} in {} ms ({rps:.1} req/s, shed rate {:.1}%)\n",
+                 errors {errors} in {} ms ({rps:.1} req/s, shed rate {:.1}%)\n\
+                 latency: p50 {} µs · p95 {} µs · p99 {} µs · max {} µs\n",
                 opts.requests,
                 workers,
                 opts.flood,
                 elapsed.as_millis(),
                 shed_rate * 100.0,
+                lat.p50(),
+                lat.p95(),
+                lat.p99(),
+                lat.max,
             ),
             status,
         )
+    }
+}
+
+/// Options for the `pvx top` live telemetry view.
+pub struct TopOpts {
+    /// Server address (socket path or host:port).
+    pub addr: String,
+    /// Delay between samples.
+    pub interval: std::time::Duration,
+    /// Frames to print before exiting; `0` runs until interrupted, with
+    /// each frame redrawing the screen instead of scrolling.
+    pub count: usize,
+}
+
+fn top_counter(m: &json::Json, name: &str) -> u64 {
+    m.get("counters").and_then(|c| c.get(name)).and_then(json::Json::as_u64).unwrap_or(0)
+}
+
+fn top_gauge(m: &json::Json, name: &str) -> u64 {
+    m.get("gauges").and_then(|g| g.get(name)).and_then(json::Json::as_u64).unwrap_or(0)
+}
+
+/// `(count, p50, p95, p99, max)` of a histogram in a `METRICS` reply.
+fn top_hist(m: &json::Json, name: &str) -> (u64, u64, u64, u64, u64) {
+    let h = m.get("histograms").and_then(|hs| hs.get(name));
+    let f = |k: &str| h.and_then(|h| h.get(k)).and_then(json::Json::as_u64).unwrap_or(0);
+    (f("count"), f("p50"), f("p95"), f("p99"), f("max"))
+}
+
+fn top_frame(m: &json::Json, addr: &str, rps: Option<f64>) -> String {
+    let mut out = String::new();
+    let uptime_s = m.get("uptime_ms").and_then(json::Json::as_u64).unwrap_or(0) as f64 / 1e3;
+    let requests = top_counter(m, "pv_service_requests_total");
+    let rate = rps.map_or(String::new(), |r| format!(" ({r:.1} req/s)"));
+    let _ = writeln!(out, "pvx top — {addr} · uptime {uptime_s:.1} s");
+    let _ = writeln!(
+        out,
+        "requests {requests}{rate} · documents {} · ok {} · shed {} · app errors {}",
+        top_counter(m, "pv_service_documents_total"),
+        top_counter(m, "pv_service_ok_total"),
+        top_counter(m, "pv_service_shed_total"),
+        top_counter(m, "pv_service_app_error_total"),
+    );
+    let (count, p50, p95, p99, max) = top_hist(m, "pv_service_check_us");
+    let _ = writeln!(
+        out,
+        "check latency: p50 {p50} µs · p95 {p95} µs · p99 {p99} µs · max {max} µs ({count} reqs)"
+    );
+    let _ = writeln!(
+        out,
+        "stage p95: read {} µs · parse {} µs · recognize {} µs · serialize {} µs",
+        top_hist(m, "pv_service_read_us").2,
+        top_hist(m, "pv_service_parse_us").2,
+        top_hist(m, "pv_service_recognize_us").2,
+        top_hist(m, "pv_service_serialize_us").2,
+    );
+    let (hits, misses) = (
+        top_counter(m, "pv_engine_memo_hits_total"),
+        top_counter(m, "pv_engine_memo_misses_total"),
+    );
+    let hit_rate = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
+    let _ = writeln!(
+        out,
+        "memo: {hits} hits / {misses} misses ({:.1}% hit rate) · flushes {} · specs denied {}",
+        hit_rate * 100.0,
+        top_counter(m, "pv_engine_memo_flushes_total"),
+        top_counter(m, "pv_engine_specs_denied_total"),
+    );
+    let _ = writeln!(
+        out,
+        "pool: regions {} · tasks {} · steals {} · parks {}",
+        top_counter(m, "pv_pool_regions_total"),
+        top_counter(m, "pv_pool_tasks_total"),
+        top_counter(m, "pv_pool_steals_total"),
+        top_counter(m, "pv_pool_parks_total"),
+    );
+    let _ = writeln!(
+        out,
+        "governor: conns {} · inflight {} · busy {} · draining {} · idle timeouts {}",
+        top_gauge(m, "pv_service_connections"),
+        top_gauge(m, "pv_service_inflight"),
+        top_counter(m, "pv_service_busy_total"),
+        top_counter(m, "pv_service_draining_total"),
+        top_counter(m, "pv_service_idle_timeout_total"),
+    );
+    let slow = m.get("slow").and_then(json::Json::as_arr).unwrap_or(&[]);
+    for t in slow.iter().rev().take(3) {
+        let op = t.get("op").and_then(json::Json::as_str).unwrap_or("?");
+        let total = t.get("total_us").and_then(json::Json::as_u64).unwrap_or(0);
+        let stages: Vec<String> = t
+            .get("stages")
+            .and_then(json::Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|s| {
+                let s = s.as_arr()?;
+                Some(format!("{} {} µs", s.first()?.as_str()?, s.get(1)?.as_u64()?))
+            })
+            .collect();
+        let _ = writeln!(out, "slow: {op} {total} µs [{}]", stages.join(", "));
+    }
+    out
+}
+
+/// `pvx top`: polls the server's `METRICS` verb and renders a compact
+/// terminal view — request rate, latency percentiles, stage breakdown,
+/// memo hit rate, pool and governor pressure, and the latest slow
+/// traces. Prints frames itself (the view is open-ended); returns the
+/// exit status.
+pub fn cmd_top(opts: &TopOpts) -> Status {
+    let mut client = match pv_service::Client::connect(&opts.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("top: cannot connect to {}: {e}", opts.addr);
+            return Status::Error;
+        }
+    };
+    let live = opts.count == 0;
+    let mut prev: Option<u64> = None;
+    let mut frames = 0usize;
+    loop {
+        let m = match client.metrics() {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("top: METRICS request failed: {e}");
+                return Status::Error;
+            }
+        };
+        let requests = top_counter(&m, "pv_service_requests_total");
+        let rps = prev.map(|p| {
+            requests.saturating_sub(p) as f64 / opts.interval.as_secs_f64().max(1e-9)
+        });
+        prev = Some(requests);
+        let frame = top_frame(&m, &opts.addr, rps);
+        if live {
+            // Redraw in place: clear the screen, home the cursor.
+            print!("\x1b[2J\x1b[H{frame}");
+        } else {
+            print!("{frame}");
+        }
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+        frames += 1;
+        if !live && frames >= opts.count {
+            return Status::Ok;
+        }
+        std::thread::sleep(opts.interval);
     }
 }
 

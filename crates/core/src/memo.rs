@@ -175,6 +175,12 @@ pub struct ShapeCache {
     hits: AtomicU64,
     misses: AtomicU64,
     flushes: AtomicU64,
+    /// Registry mirrors of the three counters above — no-op handles
+    /// unless [`ShapeCache::instrument`] was called, so the uninstrumented
+    /// lookup path pays a null-check and nothing more.
+    obs_hits: pv_obs::Counter,
+    obs_misses: pv_obs::Counter,
+    obs_flushes: pv_obs::Counter,
 }
 
 /// Telemetry snapshot of a [`ShapeCache`] (see
@@ -224,7 +230,31 @@ impl ShapeCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
+            obs_hits: pv_obs::Counter::default(),
+            obs_misses: pv_obs::Counter::default(),
+            obs_flushes: pv_obs::Counter::default(),
         }
+    }
+
+    /// Mirrors hit/miss/flush telemetry into `registry`
+    /// (`pv_engine_memo_{hits,misses,flushes}_total`). Every instrumented
+    /// cache in a process shares those registry cells, so the counters
+    /// aggregate across loaded DTDs. Adds one relaxed atomic add per
+    /// lookup when the registry is enabled; a disabled registry keeps
+    /// the handles as no-ops.
+    pub fn instrument(&mut self, registry: &pv_obs::Registry) {
+        self.obs_hits = registry.counter("pv_engine_memo_hits_total");
+        self.obs_misses = registry.counter("pv_engine_memo_misses_total");
+        self.obs_flushes = registry.counter("pv_engine_memo_flushes_total");
+    }
+
+    /// Zeroes the hit/miss/flush counters (entries are untouched — use
+    /// [`ShapeCache::clear`] for those). The service's `RESET` verb uses
+    /// both to open a fresh telemetry window.
+    pub fn reset_telemetry(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.flushes.store(0, Ordering::Relaxed);
     }
 
     /// The deterministic sequence hash: seed-free Fx, identical on every
@@ -257,10 +287,12 @@ impl ShapeCache {
         match found {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.obs_hits.inc();
                 Some(v)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.obs_misses.inc();
                 None
             }
         }
@@ -277,6 +309,7 @@ impl ShapeCache {
             shard.verdicts.clear();
             shard.next_shape = 0;
             self.flushes.fetch_add(1, Ordering::Relaxed);
+            self.obs_flushes.inc();
         }
         let chain = shard.shapes.entry(hash).or_default();
         let sid = match chain.iter().find(|(seq, _)| seq.as_ref() == syms) {

@@ -1,0 +1,205 @@
+//! Log-linear histograms with bounded-error percentile readout.
+//!
+//! A histogram cell is a fixed array of relaxed atomic buckets: values
+//! `0..16` get one bucket each (exact), and every power-of-two octave
+//! above that is split into 16 linear sub-buckets. Recording is three
+//! relaxed atomic RMWs (bucket, sum, max) with no locking, so concurrent
+//! writers never contend beyond the cache line; reading takes a plain
+//! relaxed sweep and never blocks a writer.
+//!
+//! The sub-bucket split bounds the percentile error: a quantile readout
+//! `q` satisfies `true <= q <= true * 17/16` for any recorded
+//! distribution (exact below 16), because a bucket's width is at most
+//! 1/16 of its lower bound. `tests/obs_differential.rs` checks this
+//! against brute-force sorting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per octave (`2^SUB_BITS`).
+const SUB_BITS: u32 = 4;
+/// Sub-bucket count per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Values below this get one exact bucket each.
+const FIRST: u64 = SUB as u64;
+/// Total bucket count: 16 exact + 16 per octave for octaves 4..=63.
+pub(crate) const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// Bucket index for a value (total order, monotone in the value).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < FIRST {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let sub = (v >> (msb - SUB_BITS)) & (SUB as u64 - 1);
+        SUB + (msb - SUB_BITS) as usize * SUB + sub as usize
+    }
+}
+
+/// Inclusive `(lo, hi)` value range of a bucket.
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < SUB {
+        (idx as u64, idx as u64)
+    } else {
+        let msb = (idx - SUB) as u32 / SUB as u32 + SUB_BITS;
+        let sub = ((idx - SUB) % SUB) as u64;
+        let step = 1u64 << (msb - SUB_BITS);
+        let lo = (1u64 << msb) | (sub * step);
+        (lo, lo + (step - 1))
+    }
+}
+
+/// The shared storage behind a [`crate::Histogram`] handle.
+pub(crate) struct HistCell {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCell {
+    pub(crate) fn new() -> Self {
+        HistCell {
+            buckets: Box::new([0u64; BUCKETS].map(AtomicU64::new)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Zeroes every bucket and the sum/max (registry-wide RESET).
+    pub(crate) fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistSnapshot {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        HistSnapshot {
+            count: buckets.iter().sum(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram: counts per bucket plus the
+/// exact running sum and max. Percentiles are computed here, on the
+/// snapshot, so a reader never holds writers up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Total recorded observations.
+    pub count: u64,
+    /// Sum of all recorded values (exact).
+    pub sum: u64,
+    /// Largest recorded value (exact).
+    pub max: u64,
+    buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot (what a disabled registry reports).
+    pub fn empty() -> Self {
+        HistSnapshot { count: 0, sum: 0, max: 0, buckets: Vec::new() }
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) of the recorded values, with
+    /// relative error at most 1/16 above the true order statistic
+    /// (exact for values below 16). Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(idx);
+                return hi.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean (0 on an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut prev = 0usize;
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 100, 1000, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b >= prev, "bucket order broke at {v}");
+            assert!(b < BUCKETS);
+            let (lo, hi) = bucket_bounds(b);
+            assert!(lo <= v && v <= hi, "{v} outside bucket [{lo}, {hi}]");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let cell = HistCell::new();
+        let values: Vec<u64> = (0..1000u64).map(|i| i * i % 7919 + 1).collect();
+        for &v in &values {
+            cell.record(v);
+        }
+        let snap = cell.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.95, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let got = snap.quantile(q);
+            assert!(got >= truth, "q={q}: {got} < true {truth}");
+            assert!(got <= truth + truth / 16 + 1, "q={q}: {got} too far above {truth}");
+        }
+        assert_eq!(snap.max, *sorted.last().unwrap());
+        assert_eq!(snap.sum, values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let cell = HistCell::new();
+        cell.record(42);
+        cell.reset();
+        let snap = cell.snapshot();
+        assert_eq!((snap.count, snap.sum, snap.max), (0, 0, 0));
+    }
+}

@@ -55,10 +55,53 @@
 
 use crate::queue::{GroupCounters, GroupQueues, StealQueues};
 use crate::PoolStats;
+use pv_obs::{Counter, Gauge, Histogram, Registry};
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// The pool's metric handles — all no-ops unless the pool was built with
+/// [`Pool::new_observed`]. Region-level only: recording happens once per
+/// dispatched region (and once per park/unpark episode), never per task,
+/// so the per-task claim path stays exactly as fast as before.
+#[derive(Default, Clone)]
+struct PoolObs {
+    /// Regions dispatched.
+    regions: Counter,
+    /// Tasks scheduled across all regions.
+    tasks: Counter,
+    /// Successful steals (task or whole-group).
+    steals: Counter,
+    /// Grouped-region range joins.
+    joins: Counter,
+    /// Worker park episodes (a worker began waiting for work).
+    parks: Counter,
+    /// Worker unpark episodes (a parked worker woke to a region).
+    unparks: Counter,
+    /// Region wall-clock, dispatch to completion, microseconds.
+    region_us: Histogram,
+    /// Tasks queued per region (the pool's queue-depth signal).
+    region_tasks: Histogram,
+    /// Workers currently executing a region closure.
+    active: Gauge,
+}
+
+impl PoolObs {
+    fn registered(reg: &Registry) -> PoolObs {
+        PoolObs {
+            regions: reg.counter("pv_pool_regions_total"),
+            tasks: reg.counter("pv_pool_tasks_total"),
+            steals: reg.counter("pv_pool_steals_total"),
+            joins: reg.counter("pv_pool_group_joins_total"),
+            parks: reg.counter("pv_pool_parks_total"),
+            unparks: reg.counter("pv_pool_unparks_total"),
+            region_us: reg.histogram("pv_pool_region_us"),
+            region_tasks: reg.histogram("pv_pool_region_tasks"),
+            active: reg.gauge("pv_pool_active_workers"),
+        }
+    }
+}
 
 /// A per-worker slot that survives across regions: workers hand it to
 /// every region closure they run, so a region can stash warm scratch
@@ -104,6 +147,8 @@ struct Shared {
     /// Dispatchers wait here for their region to finish — and for the
     /// pool to go idle before installing the next one.
     done_cv: Condvar,
+    /// Metric handles (no-ops unless the pool is observed).
+    obs: PoolObs,
 }
 
 struct Central {
@@ -135,6 +180,15 @@ impl Pool {
     /// Spawns a pool of [`crate::effective_jobs`]`(jobs)` parked workers
     /// (`0` = one per available CPU).
     pub fn new(jobs: usize) -> Pool {
+        Self::new_observed(jobs, &Registry::disabled())
+    }
+
+    /// [`Pool::new`], recording pool telemetry (`pv_pool_*`: regions,
+    /// tasks, steals, group joins, park/unpark episodes, region
+    /// wall-clock and size histograms, an active-worker gauge) into
+    /// `registry`. A disabled registry makes this identical to
+    /// [`Pool::new`] — every handle is a no-op.
+    pub fn new_observed(jobs: usize, registry: &Registry) -> Pool {
         let workers = crate::effective_jobs(jobs).max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(Central {
@@ -147,6 +201,7 @@ impl Pool {
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            obs: PoolObs::registered(registry),
         });
         let handles = (0..workers)
             .map(|w| {
@@ -202,7 +257,13 @@ impl Pool {
             out: Mutex::new(Vec::with_capacity(len)),
             f,
         });
+        let t0 = self.shared.obs.region_us.start();
         self.dispatch(region.clone());
+        self.shared.obs.region_us.observe_since(t0);
+        self.shared.obs.regions.inc();
+        self.shared.obs.tasks.add(len as u64);
+        self.shared.obs.region_tasks.observe(len as u64);
+        self.shared.obs.steals.add(region.steals.load(Ordering::Relaxed));
         let mut slots: Vec<Option<R>> = Vec::with_capacity(len);
         slots.resize_with(len, || None);
         for (i, r) in std::mem::take(&mut *region.out.lock().unwrap()) {
@@ -265,7 +326,14 @@ impl Pool {
             out: Mutex::new(Vec::with_capacity(total)),
             f,
         });
+        let t0 = self.shared.obs.region_us.start();
         self.dispatch(region.clone());
+        self.shared.obs.region_us.observe_since(t0);
+        self.shared.obs.regions.inc();
+        self.shared.obs.tasks.add(total as u64);
+        self.shared.obs.region_tasks.observe(total as u64);
+        self.shared.obs.steals.add(region.counters.steals.load(Ordering::Relaxed));
+        self.shared.obs.joins.add(region.counters.joins.load(Ordering::Relaxed));
         let mut slots: Vec<Vec<Option<R>>> = sizes
             .iter()
             .map(|&len| {
@@ -356,7 +424,10 @@ fn worker_main(shared: &Shared, w: usize) {
     loop {
         let (region, epoch) = {
             let mut g = shared.state.lock().unwrap();
-            loop {
+            // One park/unpark pair per blocking episode, not per spurious
+            // wake: `parked` latches on the first actual wait.
+            let mut parked = false;
+            let pair = loop {
                 if let Some(region) = &g.region {
                     if g.epoch != seen_epoch {
                         seen_epoch = g.epoch;
@@ -366,14 +437,24 @@ fn worker_main(shared: &Shared, w: usize) {
                 if g.shutdown {
                     return;
                 }
+                if !parked {
+                    parked = true;
+                    shared.obs.parks.inc();
+                }
                 g = shared.work_cv.wait(g).unwrap();
+            };
+            if parked {
+                shared.obs.unparks.inc();
             }
+            pair
         };
         // Run the region; a panicking task must not kill the worker — the
         // payload is carried back to the dispatcher, the pool stays whole.
+        shared.obs.active.add(1);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             region.work(w, &mut sticky)
         }));
+        shared.obs.active.add(-1);
         drop(region);
         let mut g = shared.state.lock().unwrap();
         if let Err(payload) = result {
@@ -667,6 +748,31 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn observed_pool_records_region_telemetry() {
+        let reg = Registry::new();
+        let pool = Pool::new_observed(2, &reg);
+        let out = pool.run(0, 100, |scope| {
+            while let Some(i) = scope.claim() {
+                scope.put(i, i);
+            }
+        });
+        assert_eq!(out.len(), 100);
+        pool.run_grouped(0, &[3, 4], |scope| {
+            while let Some((g, i)) = scope.claim() {
+                scope.put(g, i, ());
+            }
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["pv_pool_regions_total"], 2);
+        assert_eq!(snap.counters["pv_pool_tasks_total"], 107);
+        assert_eq!(snap.histograms["pv_pool_region_tasks"].count, 2);
+        assert_eq!(snap.histograms["pv_pool_region_tasks"].max, 100);
+        assert_eq!(snap.histograms["pv_pool_region_us"].count, 2);
+        // All workers are parked again once the regions are done.
+        assert_eq!(snap.gauges["pv_pool_active_workers"], 0);
     }
 
     #[test]

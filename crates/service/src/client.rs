@@ -355,7 +355,14 @@ impl Client {
         self.round_trip(&Request::Stats)
     }
 
-    /// Clears the handle's server-side shape cache.
+    /// The server's metrics snapshot (see the protocol's `METRICS`):
+    /// counters, gauges, latency histograms, and recent slow traces.
+    pub fn metrics(&mut self) -> Result<Json> {
+        self.round_trip(&Request::Metrics)
+    }
+
+    /// Clears the handle's server-side shape cache and zeroes the
+    /// server's telemetry window.
     pub fn reset(&mut self, handle: &str) -> Result<()> {
         self.round_trip(&Request::Reset { handle: handle.to_owned() }).map(|_| ())
     }

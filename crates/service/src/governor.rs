@@ -200,8 +200,13 @@ impl Governor {
 
     /// One access-log line for a connection-level event with no request
     /// context (`busy`, `draining`, `idle_timeout`, `drain_forced`).
-    pub(crate) fn log_event(&self, conn: u64, disposition: &str) {
-        self.log_request(conn, &Access::default(), disposition);
+    /// `dur` is how long the event took from the server's point of view
+    /// — the idle wait before a reaped connection, the time spent
+    /// delivering a refusal — so `dur_us` is real on **every** access-log
+    /// line, not just the served ones (refusal latencies are exactly
+    /// what an overload investigation needs).
+    pub(crate) fn log_event(&self, conn: u64, dur: Duration, disposition: &str) {
+        self.log_request(conn, &Access { dur, ..Access::default() }, disposition);
     }
 }
 
@@ -311,7 +316,7 @@ mod tests {
             verdict: "pv",
         };
         gov.log_request(7, &access, "ok");
-        gov.log_event(8, "busy");
+        gov.log_event(8, Duration::from_micros(137), "busy");
         let lines = buf.lock().unwrap();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("conn=7"));
@@ -319,5 +324,7 @@ mod tests {
         assert!(lines[0].contains("disposition=ok"));
         assert!(lines[1].contains("conn=8"));
         assert!(lines[1].contains("disposition=busy"));
+        // Connection-level refusals carry their real duration too.
+        assert!(lines[1].contains("dur_us=137"), "{}", lines[1]);
     }
 }

@@ -48,6 +48,7 @@
 mod client;
 mod governor;
 pub mod json;
+pub mod metrics_http;
 pub mod proto;
 mod router;
 mod server;
@@ -55,4 +56,4 @@ mod server;
 pub use client::{BatchStream, Client, LoadInfo, RemoteCheck, Result, ServiceError};
 pub use governor::{GovernorConfig, LogSink};
 pub use router::{DtdSpec, MultiClient, MultiLoad, RouterConfig};
-pub use server::{Endpoint, Server, ServerHandle};
+pub use server::{Endpoint, MetricsSource, Server, ServerHandle};

@@ -1,0 +1,125 @@
+//! Prometheus-style scrape endpoint for a running [`crate::Server`].
+//!
+//! The wire protocol's `METRICS` verb answers in JSON for clients that
+//! already speak it; scrapers speak HTTP. This module bridges the two
+//! with the smallest HTTP server that a scraper will accept: one
+//! accept loop, one request per connection, `GET /metrics` answered
+//! with the text exposition format, everything else with `404`. No
+//! TLS, no keep-alive, no routing table — a scrape endpoint is not a
+//! web framework, and keeping it at ~100 lines means it can never
+//! become one.
+//!
+//! ```no_run
+//! use pv_service::{metrics_http, Endpoint, Server};
+//!
+//! let server = Server::bind(&Endpoint::parse("127.0.0.1:0"), 2).unwrap();
+//! let (addr, _scraper) =
+//!     metrics_http::serve_metrics("127.0.0.1:0", server.metrics_source()).unwrap();
+//! println!("scrape http://{addr}/metrics");
+//! ```
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::server::MetricsSource;
+
+/// A scrape or two per second is the design load; anything that holds
+/// a connection longer than this is not a scraper.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Binds `addr` (e.g. `127.0.0.1:9464` or `127.0.0.1:0`) and serves
+/// `GET /metrics` from `source` on a background thread.
+///
+/// Returns the bound address (useful with port `0`) and the accept
+/// loop's [`JoinHandle`]. The thread runs until the process exits —
+/// the listener has no shutdown channel because the endpoint lives
+/// exactly as long as the server it describes.
+pub fn serve_metrics(addr: &str, source: MetricsSource) -> io::Result<(String, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?.to_string();
+    let handle = thread::Builder::new().name("pv-metrics-http".to_owned()).spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(stream) = conn else { continue };
+            // One slow scraper must not wedge the endpoint for the next.
+            let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+            let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+            let _ = answer(stream, &source);
+        }
+    })?;
+    Ok((bound, handle))
+}
+
+/// Reads one HTTP request and writes one response. Errors are
+/// swallowed by the caller: a scraper that hangs up early is routine,
+/// not reportable.
+fn answer(stream: TcpStream, source: &MetricsSource) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+
+    // Drain headers to the blank line so the peer sees a clean close
+    // instead of a reset mid-send.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+
+    let mut stream = reader.into_inner();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    match (method, path.split('?').next().unwrap_or("")) {
+        ("GET", "/metrics") => {
+            respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &source.prometheus())
+        }
+        ("GET", "/metrics.json") => {
+            respond(&mut stream, "200 OK", "application/json", &source.json())
+        }
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "only GET /metrics lives here\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Endpoint, Server};
+    use std::io::Read;
+
+    fn get(addr: &str, path: &str) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(conn, "GET {path} HTTP/1.1\r\nHost: {addr}\r\n\r\n").unwrap();
+        let mut reply = String::new();
+        conn.read_to_string(&mut reply).unwrap();
+        reply
+    }
+
+    #[test]
+    fn scrape_serves_prometheus_text_and_json() {
+        let server = Server::bind(&Endpoint::parse("127.0.0.1:0"), 1).unwrap();
+        let (addr, _h) = serve_metrics("127.0.0.1:0", server.metrics_source()).unwrap();
+
+        let text = get(&addr, "/metrics");
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "got: {text}");
+        assert!(text.contains("# TYPE pv_service_requests_total counter"), "got: {text}");
+
+        let json = get(&addr, "/metrics.json");
+        assert!(json.starts_with("HTTP/1.1 200 OK"), "got: {json}");
+        assert!(json.contains("\"counters\""), "got: {json}");
+
+        let miss = get(&addr, "/definitely-not-metrics");
+        assert!(miss.starts_with("HTTP/1.1 404"), "got: {miss}");
+    }
+}

@@ -23,7 +23,8 @@
 //! | `BATCH_STREAM <handle> <count>` | interleaved frames (see below) | `count` multiplexed streaming checks over one connection |
 //! | `BATCH <handle> <count> [jobs=N]` | `count` (XML each) | check a document batch on the two-level scheduler |
 //! | `STATS` | — | server telemetry (uptime, request/work counters, per-DTD memo) |
-//! | `RESET <handle>` | — | clear the handle's shape cache (benchmarking) |
+//! | `METRICS` | — | metrics-registry snapshot: counters, gauges, histogram percentiles, slow traces |
+//! | `RESET <handle>` | — | clear the handle's shape cache **and** zero the server's telemetry window (stats totals, memo counters, metrics registry) |
 //! | `SHUTDOWN` | — | stop accepting connections |
 //!
 //! `CHECK_STREAM` is the one verb whose payload is **not** buffered by
@@ -163,6 +164,10 @@ pub enum Request {
     },
     /// Server telemetry.
     Stats,
+    /// The metrics-registry snapshot (counters, gauges, histogram
+    /// percentiles, slow-request traces) as one JSON object — the same
+    /// registry `pvx serve --metrics-port` exposes as Prometheus text.
+    Metrics,
     /// Clear a handle's shape cache.
     Reset {
         /// Handle from a previous `LOAD`/`BUILTIN`.
@@ -358,6 +363,7 @@ pub fn finish_request(line: &str, r: &mut impl BufRead, limits: &Limits) -> io::
     match verb {
         "PING" => Ok(Frame::Req(Request::Ping)),
         "STATS" => Ok(Frame::Req(Request::Stats)),
+        "METRICS" => Ok(Frame::Req(Request::Metrics)),
         "SHUTDOWN" => Ok(Frame::Req(Request::Shutdown)),
         "RESET" => match args {
             [handle] => Ok(Frame::Req(Request::Reset { handle: (*handle).to_owned() })),
@@ -471,6 +477,7 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
     match req {
         Request::Ping => writeln!(w, "PING"),
         Request::Stats => writeln!(w, "STATS"),
+        Request::Metrics => writeln!(w, "METRICS"),
         Request::Shutdown => writeln!(w, "SHUTDOWN"),
         Request::Reset { handle } => writeln!(w, "RESET {handle}"),
         Request::Builtin { name } => writeln!(w, "BUILTIN {name}"),
@@ -517,6 +524,7 @@ mod tests {
     fn requests_round_trip() {
         round_trip(Request::Ping);
         round_trip(Request::Stats);
+        round_trip(Request::Metrics);
         round_trip(Request::Shutdown);
         round_trip(Request::Reset { handle: "d0".into() });
         round_trip(Request::Builtin { name: "play".into() });

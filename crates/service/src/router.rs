@@ -27,9 +27,41 @@
 use crate::client::{Client, LoadInfo, RemoteCheck, Result, ServiceError};
 use crate::server::Endpoint;
 use pv_core::checker::PvOutcome;
+use pv_obs::{Counter, Histogram, Registry};
 use std::collections::HashMap;
 use std::io;
 use std::time::{Duration, Instant};
+
+/// Per-backend latency histograms need `'static` names (the registry
+/// interns by pointer-stable name); eight covers every deployment in
+/// the fault suite, and backends past the array still feed the
+/// aggregate `pv_router_attempt_us`.
+const BACKEND_US: [&str; 8] = [
+    "pv_router_backend0_us",
+    "pv_router_backend1_us",
+    "pv_router_backend2_us",
+    "pv_router_backend3_us",
+    "pv_router_backend4_us",
+    "pv_router_backend5_us",
+    "pv_router_backend6_us",
+    "pv_router_backend7_us",
+];
+
+/// Routing telemetry handles. Default-constructed handles are no-ops,
+/// so an uninstrumented router pays one `Option` branch per event.
+#[derive(Default)]
+struct RouterObs {
+    /// Successful requests served away from the key's previous backend.
+    failovers: Counter,
+    /// Backends entering quarantine (strike recorded, backoff armed).
+    quarantine_entered: Counter,
+    /// Backends leaving quarantine by serving a request again.
+    quarantine_exited: Counter,
+    /// Wall-clock of every backend attempt, failed ones included.
+    attempt_us: Histogram,
+    /// Index-aligned per-backend slice of `attempt_us`.
+    backend_us: Vec<Histogram>,
+}
 
 /// Routing policy for a [`MultiClient`].
 #[derive(Debug, Clone)]
@@ -125,6 +157,7 @@ pub struct MultiClient {
     /// key → backend index that served it last (telemetry).
     last_backend: HashMap<String, usize>,
     reroutes: u64,
+    obs: RouterObs,
 }
 
 fn splitmix64(x: u64) -> u64 {
@@ -175,7 +208,27 @@ impl MultiClient {
             specs: HashMap::new(),
             last_backend: HashMap::new(),
             reroutes: 0,
+            obs: RouterObs::default(),
         }
+    }
+
+    /// Registers this router's telemetry in `registry`:
+    /// `pv_router_failovers_total`, `pv_router_quarantine_entered_total`
+    /// / `..._exited_total`, the `pv_router_attempt_us` latency
+    /// histogram, and a `pv_router_backendN_us` slice per backend
+    /// (first eight). A router never instrumented records nothing.
+    pub fn instrument(&mut self, registry: &Registry) {
+        self.obs = RouterObs {
+            failovers: registry.counter("pv_router_failovers_total"),
+            quarantine_entered: registry.counter("pv_router_quarantine_entered_total"),
+            quarantine_exited: registry.counter("pv_router_quarantine_exited_total"),
+            attempt_us: registry.histogram("pv_router_attempt_us"),
+            backend_us: BACKEND_US
+                .iter()
+                .take(self.backends.len())
+                .map(|name| registry.histogram(name))
+                .collect(),
+        };
     }
 
     /// The backend order a key prefers: ring successors of its hash
@@ -230,6 +283,9 @@ impl MultiClient {
         let b = &mut self.backends[i];
         b.conn = None;
         b.handles.clear(); // the server may have restarted; re-load on recovery
+        if b.strikes == 0 {
+            self.obs.quarantine_entered.inc();
+        }
         b.strikes = b.strikes.saturating_add(1);
         let backoff = self
             .config
@@ -241,12 +297,16 @@ impl MultiClient {
 
     fn mark_success(&mut self, i: usize, key: &str) {
         let b = &mut self.backends[i];
+        if b.strikes > 0 {
+            self.obs.quarantine_exited.inc();
+        }
         b.strikes = 0;
         b.dead_until = None;
         b.served += 1;
         if let Some(prev) = self.last_backend.insert(key.to_owned(), i) {
             if prev != i {
                 self.reroutes += 1;
+                self.obs.failovers.inc();
             }
         }
     }
@@ -300,10 +360,16 @@ impl MultiClient {
             if !all_quarantined && self.backends[i].quarantined(now) {
                 continue;
             }
+            let at = self.obs.attempt_us.start();
             let attempt = self.ensure_handle(i, key, &spec).and_then(|handle| {
                 let client = self.backends[i].conn.as_mut().expect("connected");
                 f(client, &handle)
             });
+            if let Some(us) = self.obs.attempt_us.observe_since(at) {
+                if let Some(h) = self.obs.backend_us.get(i) {
+                    h.observe(us);
+                }
+            }
             match attempt {
                 Ok(v) => {
                     self.mark_success(i, key);
@@ -506,6 +572,20 @@ mod tests {
             DtdSpec::Load { root: "r".into(), source: "<!ELEMENT r EMPTY>".into() }.key(),
             "load\u{0}r\u{0}<!ELEMENT r EMPTY>"
         );
+    }
+
+    #[test]
+    fn instrumented_router_counts_quarantine_transitions() {
+        let mut mc = router(2, 5);
+        let reg = Registry::new();
+        mc.instrument(&reg);
+        mc.mark_failure(0);
+        mc.mark_failure(0); // a repeat strike is the same quarantine, not a new one
+        mc.mark_success(0, "k");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["pv_router_quarantine_entered_total"], 1);
+        assert_eq!(snap.counters["pv_router_quarantine_exited_total"], 1);
+        assert_eq!(snap.counters["pv_router_failovers_total"], 0);
     }
 
     #[test]

@@ -19,10 +19,12 @@
 use crate::governor::{Access, ConnPermit, Governor, GovernorConfig, InflightPermit};
 use crate::json::{self, Json};
 use crate::proto::{self, Frame, ReadError, Request};
+use pv_core::depth::DepthPolicy;
 use pv_core::engine::CheckEngine;
 use pv_core::recognizer::RecognizerStats;
 use pv_dtd::builtin::BuiltinDtd;
 use pv_dtd::DtdAnalysis;
+use pv_obs::{Counter, Gauge, Histogram, Registry, Trace};
 use pv_par::Pool;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -216,9 +218,118 @@ struct ConnCtl {
     busy: Arc<AtomicBool>,
 }
 
+/// The server's `pv_service_*` metric handles, registered once at bind.
+/// Everything here is a cloneable no-op-capable `pv-obs` handle: the
+/// request path pays one relaxed atomic add per touch and nothing when
+/// the registry is disabled (the server's registry is always enabled —
+/// `METRICS` must work without flags — but the handles keep the
+/// zero-cost shape so the instrumented code reads identically at every
+/// layer).
+struct ServiceMetrics {
+    /// Per-verb wall-clock (verb line to response).
+    check_us: Histogram,
+    batch_us: Histogram,
+    stream_us: Histogram,
+    batch_stream_us: Histogram,
+    load_us: Histogram,
+    other_us: Histogram,
+    /// `CHECK` stage wall-clocks (the recognize stage also lands in the
+    /// engine's own `pv_engine_check_us`).
+    read_us: Histogram,
+    parse_us: Histogram,
+    recognize_us: Histogram,
+    serialize_us: Histogram,
+    /// Streaming ingest: one count/size/feed-latency sample per chunk.
+    stream_chunks: Counter,
+    stream_bytes: Counter,
+    stream_feed_us: Histogram,
+    /// One counter per access-log disposition.
+    ok: Counter,
+    app_error: Counter,
+    shed: Counter,
+    busy: Counter,
+    draining: Counter,
+    idle_timeout: Counter,
+    read_timeout: Counter,
+    framing_error: Counter,
+    drain_forced: Counter,
+    /// Lifetime totals (mirrors of the `STATS` counters).
+    requests: Counter,
+    documents: Counter,
+    /// Live state, refreshed from the governor at snapshot time.
+    connections: Gauge,
+    inflight: Gauge,
+}
+
+impl ServiceMetrics {
+    fn registered(reg: &Registry) -> ServiceMetrics {
+        ServiceMetrics {
+            check_us: reg.histogram("pv_service_check_us"),
+            batch_us: reg.histogram("pv_service_batch_us"),
+            stream_us: reg.histogram("pv_service_stream_us"),
+            batch_stream_us: reg.histogram("pv_service_batch_stream_us"),
+            load_us: reg.histogram("pv_service_load_us"),
+            other_us: reg.histogram("pv_service_other_us"),
+            read_us: reg.histogram("pv_service_read_us"),
+            parse_us: reg.histogram("pv_service_parse_us"),
+            recognize_us: reg.histogram("pv_service_recognize_us"),
+            serialize_us: reg.histogram("pv_service_serialize_us"),
+            stream_chunks: reg.counter("pv_stream_chunks_total"),
+            stream_bytes: reg.counter("pv_stream_bytes_total"),
+            stream_feed_us: reg.histogram("pv_stream_feed_us"),
+            ok: reg.counter("pv_service_ok_total"),
+            app_error: reg.counter("pv_service_app_error_total"),
+            shed: reg.counter("pv_service_shed_total"),
+            busy: reg.counter("pv_service_busy_total"),
+            draining: reg.counter("pv_service_draining_total"),
+            idle_timeout: reg.counter("pv_service_idle_timeout_total"),
+            read_timeout: reg.counter("pv_service_read_timeout_total"),
+            framing_error: reg.counter("pv_service_framing_error_total"),
+            drain_forced: reg.counter("pv_service_drain_forced_total"),
+            requests: reg.counter("pv_service_requests_total"),
+            documents: reg.counter("pv_service_documents_total"),
+            connections: reg.gauge("pv_service_connections"),
+            inflight: reg.gauge("pv_service_inflight"),
+        }
+    }
+
+    /// The latency histogram a verb's wall-clock lands in.
+    fn verb_hist(&self, op: &str) -> &Histogram {
+        match op {
+            "CHECK" => &self.check_us,
+            "BATCH" => &self.batch_us,
+            "CHECK_STREAM" => &self.stream_us,
+            "BATCH_STREAM" => &self.batch_stream_us,
+            "LOAD" | "BUILTIN" => &self.load_us,
+            _ => &self.other_us,
+        }
+    }
+
+    /// Counts one access-log disposition.
+    fn disposition(&self, disp: &str) {
+        match disp {
+            "ok" => self.ok.inc(),
+            "app_error" => self.app_error.inc(),
+            "shed" => self.shed.inc(),
+            "busy" => self.busy.inc(),
+            "draining" => self.draining.inc(),
+            "idle_timeout" => self.idle_timeout.inc(),
+            "read_timeout" => self.read_timeout.inc(),
+            "framing_error" => self.framing_error.inc(),
+            "drain_forced" => self.drain_forced.inc(),
+            _ => {}
+        }
+    }
+}
+
 /// Shared server state.
 struct ServiceState {
     pool: Pool,
+    /// The always-enabled metrics registry behind `METRICS` and the
+    /// `/metrics` HTTP exposition; the pool and every interned engine
+    /// record into it.
+    obs: Registry,
+    metrics: ServiceMetrics,
     /// Admission control, deadlines, shedding counters, access log.
     gov: Governor,
     /// Live connections by id — the drain path severs these.
@@ -256,7 +367,7 @@ impl ServiceState {
             return Ok((handle.clone(), entry));
         }
         let (analysis, label) = build()?;
-        let engine = CheckEngine::new(analysis);
+        let engine = CheckEngine::with_policy_observed(analysis, DepthPolicy::Auto, &self.obs);
         if self.gov.config.strict_load {
             if let pv_dtd::BudgetVerdict::Flagged { reason, witness } =
                 &engine.report().budget.verdict
@@ -295,7 +406,28 @@ impl ServiceState {
 
     fn record(&self, docs: u64, stats: &RecognizerStats) {
         self.documents.fetch_add(docs, Ordering::Relaxed);
+        self.metrics.documents.add(docs);
         self.totals.lock().unwrap().merge(stats);
+    }
+
+    /// Brings the live-state gauges up to date from the governor. Called
+    /// at every snapshot point (`METRICS`, the HTTP exposition) so a
+    /// scrape always sees current connection/inflight occupancy without
+    /// the request path paying gauge traffic.
+    fn refresh_gauges(&self) {
+        let g = self.gov.snapshot();
+        self.metrics.connections.set(g.active as i64);
+        self.metrics.inflight.set(g.inflight as i64);
+    }
+
+    /// One request's telemetry epilogue: disposition counter, per-verb
+    /// latency observation, and — when the request was slow enough — a
+    /// stage trace into the slow ring.
+    fn observe_request(&self, op: &str, disp: &str, t0: Instant, stages: Vec<(String, u64)>) {
+        self.metrics.disposition(disp);
+        let total_us = t0.elapsed().as_micros() as u64;
+        self.metrics.verb_hist(op).observe(total_us);
+        self.obs.record_trace(Trace { op: op.to_owned(), total_us, stages });
     }
 }
 
@@ -310,6 +442,18 @@ impl ServerHandle {
     /// The endpoint clients should connect to (TCP port resolved).
     pub fn endpoint(&self) -> &Endpoint {
         &self.endpoint
+    }
+
+    /// The server's metrics registry (always enabled). Cloning is cheap;
+    /// clones observe the same cells the serving path updates.
+    pub fn registry(&self) -> Registry {
+        self.state.obs.clone()
+    }
+
+    /// A cloneable telemetry renderer detached from the handle's
+    /// lifetime — what the `/metrics` HTTP exposition thread holds.
+    pub fn metrics_source(&self) -> MetricsSource {
+        MetricsSource { state: Arc::clone(&self.state) }
     }
 
     /// Blocks until the server stops accepting (a `SHUTDOWN` request or
@@ -333,6 +477,28 @@ impl ServerHandle {
         if let Endpoint::Unix(path) = endpoint {
             let _ = std::fs::remove_file(path);
         }
+    }
+}
+
+/// A cloneable view of a running server's telemetry, for renderers that
+/// outlive or run beside the protocol loop (the `/metrics` HTTP thread,
+/// tests). Snapshots refresh the live-state gauges from the governor
+/// first, so scrapes see current occupancy.
+#[derive(Clone)]
+pub struct MetricsSource {
+    state: Arc<ServiceState>,
+}
+
+impl MetricsSource {
+    /// The registry snapshot in Prometheus text exposition format.
+    pub fn prometheus(&self) -> String {
+        self.state.refresh_gauges();
+        self.state.obs.snapshot().prometheus_text()
+    }
+
+    /// The registry snapshot as the `METRICS` verb's JSON body.
+    pub fn json(&self) -> String {
+        metrics_response(&self.state)
     }
 }
 
@@ -385,8 +551,15 @@ impl Server {
                 (Listener::Tcp(l), Endpoint::Tcp(resolved))
             }
         };
+        // The registry is always enabled: METRICS and the HTTP
+        // exposition must answer without opt-in flags, and the handles'
+        // cost is one relaxed atomic add per touch.
+        let obs = Registry::new();
+        let metrics = ServiceMetrics::registered(&obs);
         let state = Arc::new(ServiceState {
-            pool: Pool::new(jobs),
+            pool: Pool::new_observed(jobs, &obs),
+            obs,
+            metrics,
             gov: Governor::new(config),
             conns: Mutex::new(HashMap::new()),
             dtds: RwLock::new(HashMap::new()),
@@ -456,9 +629,13 @@ fn accept_loop(listener: &Listener, state: &Arc<ServiceState>) {
                     }
                     None => {
                         // At max_connections: one clean BUSY line, close.
-                        // Never a hang, never a silent drop.
-                        state.gov.log_event(conn_id, "busy");
+                        // Never a hang, never a silent drop. Logged after
+                        // the refusal goes out so dur_us is the real
+                        // delivery time, not zero.
+                        let t0 = Instant::now();
                         deny(&mut stream, state, "busy", "server is at its connection limit");
+                        state.gov.log_event(conn_id, t0.elapsed(), "busy");
+                        state.metrics.disposition("busy");
                     }
                 }
             }
@@ -488,7 +665,8 @@ fn deny(stream: &mut Stream, state: &Arc<ServiceState>, kind: &str, msg: &str) {
 /// the stragglers.
 fn drain(listener: &Listener, state: &Arc<ServiceState>) {
     let gov = &state.gov;
-    let deadline = Instant::now() + gov.config.drain_deadline;
+    let drain_t0 = Instant::now();
+    let deadline = drain_t0 + gov.config.drain_deadline;
     let _ = listener.set_nonblocking(true);
     {
         let conns = state.conns.lock().unwrap();
@@ -508,7 +686,9 @@ fn drain(listener: &Listener, state: &Arc<ServiceState>) {
         let conns = state.conns.lock().unwrap();
         for (id, ctl) in conns.iter() {
             gov.note_drain_forced();
-            gov.log_event(*id, "drain_forced");
+            // dur_us = how long this connection was given to finish.
+            gov.log_event(*id, drain_t0.elapsed(), "drain_forced");
+            state.metrics.disposition("drain_forced");
             let _ = ctl.ctl.shutdown_both();
         }
         drop(conns);
@@ -595,28 +775,37 @@ fn connection_loop(
     loop {
         busy.store(false, Ordering::SeqCst);
         if state.shutdown.load(Ordering::SeqCst) {
-            // The server began draining between our requests.
-            gov.log_event(conn_id, "draining");
+            // The server began draining between our requests. Logged
+            // after the refusal goes out so dur_us is its delivery time.
+            let t0 = Instant::now();
             let _ = respond(reader.get_mut(), err_response_kind("draining", "server is draining"));
+            gov.log_event(conn_id, t0.elapsed(), "draining");
+            state.metrics.disposition("draining");
             return Ok(());
         }
         // The gap between requests is idleness; the verb line read waits
         // under the (long) idle deadline.
         let _ = reader.get_ref().set_read_timeout(gov.config.idle_timeout);
+        let idle_t0 = Instant::now();
         let line = match proto::read_line(&mut reader) {
             Ok(None) => return Ok(()), // clean EOF between requests
             Ok(Some(l)) => l,
             Err(e) if is_timeout(&e) => {
                 gov.note_timeout();
-                gov.log_event(conn_id, "idle_timeout");
+                // dur_us = how long the connection sat idle before the
+                // reaper took it.
+                gov.log_event(conn_id, idle_t0.elapsed(), "idle_timeout");
+                state.metrics.disposition("idle_timeout");
                 return Ok(());
             }
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // Non-UTF-8 garbage where a verb line should be: same
                 // contract as any framing error — one reported refusal,
                 // then close.
-                gov.log_event(conn_id, "framing_error");
+                let t0 = Instant::now();
                 let _ = respond(reader.get_mut(), err_response("request line is not UTF-8"));
+                gov.log_event(conn_id, t0.elapsed(), "framing_error");
+                state.metrics.disposition("framing_error");
                 return Ok(());
             }
             Err(e) => return Err(e),
@@ -633,12 +822,18 @@ fn connection_loop(
                 gov.note_timeout();
                 let access = Access { op: &op, dur: t0.elapsed(), ..Access::default() };
                 gov.log_request(conn_id, &access, "read_timeout");
+                state.observe_request(&op, "read_timeout", t0, Vec::new());
                 return Ok(());
             }
             Err(e) => return Err(e),
         };
+        // The time spent in finish_request is the request's read stage
+        // (payload bytes off the wire into memory).
+        let read_us = t0.elapsed().as_micros() as u64;
+        state.metrics.read_us.observe(read_us);
         if matches!(frame, Frame::Req(_)) {
             state.requests.fetch_add(1, Ordering::Relaxed);
+            state.metrics.requests.inc();
         }
         match frame {
             Frame::Eof => return Ok(()),
@@ -647,6 +842,7 @@ fn connection_loop(
                 // close (module docs).
                 let access = Access { op: &op, dur: t0.elapsed(), ..Access::default() };
                 gov.log_request(conn_id, &access, "framing_error");
+                state.observe_request(&op, "framing_error", t0, Vec::new());
                 let _ = respond(reader.get_mut(), err_response(&msg));
                 return Ok(());
             }
@@ -665,6 +861,7 @@ fn connection_loop(
                         let access =
                             Access { op: &op, handle: &handle, dur: t0.elapsed(), ..Access::default() };
                         gov.log_request(conn_id, &access, "read_timeout");
+                        state.observe_request(&op, "read_timeout", t0, Vec::new());
                         return Ok(());
                     }
                     Err(e) => return Err(e),
@@ -678,6 +875,7 @@ fn connection_loop(
                             verdict: verdict_of(&body),
                         };
                         gov.log_request(conn_id, &access, disp);
+                        state.observe_request(&op, disp, t0, Vec::new());
                         respond(reader.get_mut(), body)?;
                     }
                     Ok((StreamBody::Abort(msg), bytes)) => {
@@ -691,6 +889,7 @@ fn connection_loop(
                             verdict: "-",
                         };
                         gov.log_request(conn_id, &access, "framing_error");
+                        state.observe_request(&op, "framing_error", t0, Vec::new());
                         let _ = respond(reader.get_mut(), err_response(&msg));
                         return Ok(());
                     }
@@ -718,6 +917,7 @@ fn connection_loop(
                         let access =
                             Access { op: &op, handle: &handle, dur: t0.elapsed(), ..Access::default() };
                         gov.log_request(conn_id, &access, "read_timeout");
+                        state.observe_request(&op, "read_timeout", t0, Vec::new());
                         return Ok(());
                     }
                     Err(e) => return Err(e),
@@ -731,6 +931,7 @@ fn connection_loop(
                             verdict: verdict_of(&body),
                         };
                         gov.log_request(conn_id, &access, disp);
+                        state.observe_request(&op, disp, t0, Vec::new());
                         respond(reader.get_mut(), body)?;
                     }
                     Ok((StreamBody::Abort(msg), bytes)) => {
@@ -742,6 +943,7 @@ fn connection_loop(
                             verdict: "-",
                         };
                         gov.log_request(conn_id, &access, "framing_error");
+                        state.observe_request(&op, "framing_error", t0, Vec::new());
                         let _ = respond(reader.get_mut(), err_response(&msg));
                         return Ok(());
                     }
@@ -751,13 +953,14 @@ fn connection_loop(
                 let shutdown = matches!(req, Request::Shutdown);
                 let handle = request_handle(&req).unwrap_or("-").to_owned();
                 let bytes = request_bytes(&req);
+                let mut stages = vec![("read".to_owned(), read_us)];
                 let (body, disp) = match req {
                     // Pool-bound work honours the in-flight cap: past it
                     // the request is shed with a clean `busy` error and
                     // the connection stays usable.
                     Request::Check { .. } | Request::Batch { .. } => match gov.try_inflight() {
                         Some(_permit) => {
-                            let body = handle_request(req, state);
+                            let body = handle_request(req, state, &mut stages);
                             let disp = disposition_of(&body);
                             (body, disp)
                         }
@@ -767,7 +970,7 @@ fn connection_loop(
                         ),
                     },
                     req => {
-                        let body = handle_request(req, state);
+                        let body = handle_request(req, state, &mut stages);
                         let disp = disposition_of(&body);
                         (body, disp)
                     }
@@ -780,6 +983,7 @@ fn connection_loop(
                     verdict: verdict_of(&body),
                 };
                 gov.log_request(conn_id, &access, disp);
+                state.observe_request(&op, disp, t0, stages);
                 respond(reader.get_mut(), body)?;
                 if shutdown {
                     // The acceptor blocks in `accept`; one self-connect
@@ -866,6 +1070,8 @@ fn handle_check_stream(
             Ok(None) => break,
             Ok(Some(chunk)) => {
                 total += chunk.len();
+                state.metrics.stream_chunks.inc();
+                state.metrics.stream_bytes.add(chunk.len() as u64);
                 if total > limits.max_request {
                     return Ok((
                         StreamBody::Abort(format!(
@@ -877,7 +1083,10 @@ fn handle_check_stream(
                 }
                 if parse_err.is_none() {
                     if let Some(s) = stream.as_mut() {
-                        if let Err(e) = s.feed(&chunk) {
+                        let ft = state.metrics.stream_feed_us.start();
+                        let fed = s.feed(&chunk);
+                        state.metrics.stream_feed_us.observe_since(ft);
+                        if let Err(e) = fed {
                             // Keep draining (the framing is intact), but
                             // stop feeding: the error is final.
                             parse_err = Some(e);
@@ -1019,6 +1228,8 @@ fn handle_batch_stream(
             }
             Ok(Some(chunk)) => {
                 total += chunk.len();
+                state.metrics.stream_chunks.inc();
+                state.metrics.stream_bytes.add(chunk.len() as u64);
                 if total > limits.max_request {
                     return Ok((
                         StreamBody::Abort(format!(
@@ -1029,7 +1240,10 @@ fn handle_batch_stream(
                     ));
                 }
                 if let Slot::Open(s) = &mut slots[idx] {
-                    if let Err(e) = s.feed(&chunk) {
+                    let ft = state.metrics.stream_feed_us.start();
+                    let fed = s.feed(&chunk);
+                    state.metrics.stream_feed_us.observe_since(ft);
+                    if let Err(e) = fed {
                         // This stream's error is final; keep draining its
                         // chunks (the framing is intact) without feeding.
                         slots[idx] =
@@ -1070,7 +1284,15 @@ fn handle_batch_stream(
     Ok((StreamBody::Done(out), total))
 }
 
-fn handle_request(req: Request, state: &Arc<ServiceState>) -> String {
+/// Serves one buffered request. `stages` accumulates named stage
+/// wall-clocks (microseconds) for the slow-trace ring — the handler
+/// appends `parse`/`recognize`/`serialize` entries for the verbs that
+/// have those stages and leaves it untouched otherwise.
+fn handle_request(
+    req: Request,
+    state: &Arc<ServiceState>,
+    stages: &mut Vec<(String, u64)>,
+) -> String {
     match req {
         Request::Ping => "{\"ok\":true,\"pong\":true}".to_owned(),
         Request::Shutdown => {
@@ -1079,11 +1301,23 @@ fn handle_request(req: Request, state: &Arc<ServiceState>) -> String {
         }
         Request::Reset { handle } => match state.entry(&handle) {
             Ok(entry) => {
-                entry.engine.memo_clear();
+                // RESET opens a fresh telemetry window: the handle's
+                // cached verdicts AND its hit/miss counters go, along
+                // with the server-lifetime work totals, the request/
+                // document counters, and the metrics registry. Anything
+                // less leaves STATS mixing windows — old uptime totals
+                // against zeroed memo counters reads as a cache that
+                // never hits.
+                entry.engine.memo_reset();
+                *state.totals.lock().unwrap() = RecognizerStats::default();
+                state.requests.store(0, Ordering::Relaxed);
+                state.documents.store(0, Ordering::Relaxed);
+                state.obs.reset();
                 "{\"ok\":true}".to_owned()
             }
             Err(e) => err_response(&e),
         },
+        Request::Metrics => metrics_response(state),
         Request::Builtin { name } => {
             let result = state.intern(&format!("builtin\u{0}{name}"), || {
                 let b = BuiltinDtd::ALL
@@ -1163,24 +1397,41 @@ fn handle_request(req: Request, state: &Arc<ServiceState>) -> String {
             out
         }
         Request::Check { handle, jobs, memo, xml } => match state.entry(&handle) {
-            Ok(entry) => match pv_xml::parse(&xml) {
-                Ok(doc) => {
-                    // Everything runs on the resident pool (never a
-                    // per-request thread spawn); `jobs` follows the
-                    // documented semantics (0 = all pool workers, 1 =
-                    // sequential) and `memo=0` detaches the shared cache
-                    // without changing the scheduling.
-                    let outcome = entry.engine.check_document_pooled(
-                        &Arc::new(doc),
-                        &state.pool,
-                        jobs,
-                        memo,
-                    );
-                    state.record(1, &outcome.stats);
-                    check_response(&outcome, &entry, memo)
+            Ok(entry) => {
+                let m = &state.metrics;
+                let pt = m.parse_us.start();
+                let parsed = pv_xml::parse(&xml);
+                if let Some(us) = m.parse_us.observe_since(pt) {
+                    stages.push(("parse".to_owned(), us));
                 }
-                Err(e) => err_response(&format!("document is not well-formed: {e}")),
-            },
+                match parsed {
+                    Ok(doc) => {
+                        // Everything runs on the resident pool (never a
+                        // per-request thread spawn); `jobs` follows the
+                        // documented semantics (0 = all pool workers, 1 =
+                        // sequential) and `memo=0` detaches the shared cache
+                        // without changing the scheduling.
+                        let rt = m.recognize_us.start();
+                        let outcome = entry.engine.check_document_pooled(
+                            &Arc::new(doc),
+                            &state.pool,
+                            jobs,
+                            memo,
+                        );
+                        if let Some(us) = m.recognize_us.observe_since(rt) {
+                            stages.push(("recognize".to_owned(), us));
+                        }
+                        state.record(1, &outcome.stats);
+                        let st = m.serialize_us.start();
+                        let body = check_response(&outcome, &entry, memo);
+                        if let Some(us) = m.serialize_us.observe_since(st) {
+                            stages.push(("serialize".to_owned(), us));
+                        }
+                        body
+                    }
+                    Err(e) => err_response(&format!("document is not well-formed: {e}")),
+                }
+            }
             Err(e) => err_response(&e),
         },
         // Intercepted by serve_connection (their chunks live on the
@@ -1194,6 +1445,8 @@ fn handle_request(req: Request, state: &Arc<ServiceState>) -> String {
         }
         Request::Batch { handle, jobs, xmls } => match state.entry(&handle) {
             Ok(entry) => {
+                let m = &state.metrics;
+                let pt = m.parse_us.start();
                 let mut docs = Vec::with_capacity(xmls.len());
                 for (i, xml) in xmls.iter().enumerate() {
                     match pv_xml::parse(xml) {
@@ -1205,8 +1458,15 @@ fn handle_request(req: Request, state: &Arc<ServiceState>) -> String {
                         }
                     }
                 }
+                if let Some(us) = m.parse_us.observe_since(pt) {
+                    stages.push(("parse".to_owned(), us));
+                }
                 let docs = Arc::new(docs);
+                let rt = m.recognize_us.start();
                 let outcomes = entry.engine.check_batch_pooled(&docs, &state.pool, jobs);
+                if let Some(us) = m.recognize_us.observe_since(rt) {
+                    stages.push(("recognize".to_owned(), us));
+                }
                 let mut merged = RecognizerStats::default();
                 for o in &outcomes {
                     merged.merge(&o.stats);
@@ -1225,6 +1485,77 @@ fn handle_request(req: Request, state: &Arc<ServiceState>) -> String {
             Err(e) => err_response(&e),
         },
     }
+}
+
+/// Renders the `METRICS` reply: the registry snapshot as one JSON line
+/// — counters and gauges as name→value maps, histograms with their
+/// count/sum/max and exact-within-6.25% p50/p95/p99, and the slow-request
+/// trace ring (oldest first). Deterministic: metrics appear in name
+/// order, so two scrapes with no traffic between them are bytewise
+/// identical apart from `uptime_ms`.
+fn metrics_response(state: &Arc<ServiceState>) -> String {
+    state.refresh_gauges();
+    let snap = state.obs.snapshot();
+    let mut out = String::from("{\"ok\":true");
+    let _ = write!(
+        out,
+        ",\"uptime_ms\":{},\"slow_threshold_us\":{}",
+        state.started.elapsed().as_millis(),
+        state.obs.slow_threshold_us(),
+    );
+    out.push_str(",\"counters\":{");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_str(&mut out, name);
+        let _ = write!(out, ":{v}");
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_str(&mut out, name);
+        let _ = write!(out, ":{v}");
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_str(&mut out, name);
+        let _ = write!(
+            out,
+            ":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            h.count,
+            h.sum,
+            h.max,
+            h.p50(),
+            h.p95(),
+            h.p99(),
+        );
+    }
+    out.push_str("},\"slow\":[");
+    for (i, t) in snap.traces.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"op\":");
+        json::write_str(&mut out, &t.op);
+        let _ = write!(out, ",\"total_us\":{},\"stages\":[", t.total_us);
+        for (j, (stage, us)) in t.stages.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            json::write_str(&mut out, stage);
+            let _ = write!(out, ",{us}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
 }
 
 fn load_response(result: Result<(String, Arc<DtdEntry>), String>) -> String {
